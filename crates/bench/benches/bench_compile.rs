@@ -1,0 +1,74 @@
+//! Criterion benchmark: backend-compiler throughput (CFG, liveness,
+//! regalloc, lowering) and the cost of the SASSI pass itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sassi::{FnHandler, InfoFlags, Sassi, SiteFilter};
+use sassi_kir::{Compiler, KernelBuilder};
+
+fn big_kernel() -> sassi_kir::KFunction {
+    let mut b = KernelBuilder::kernel("big");
+    let n = b.param_u32(0);
+    let buf = b.param_ptr(1);
+    let tid = b.global_tid_x();
+    let p = b.setp_u32_lt(tid, n);
+    b.if_(p, |b| {
+        let acc = b.var_u32(0u32);
+        b.for_range(0u32, n, 1, |b, i| {
+            let e = b.lea(buf, i, 2);
+            let v = b.ld_global_u32(e);
+            let q = b.setp_u32_lt(v, 100u32);
+            b.if_else(
+                q,
+                |b| {
+                    let t = b.imad(v, 3u32, acc);
+                    b.assign(acc, t);
+                },
+                |b| {
+                    let t = b.isub(acc, v);
+                    b.assign(acc, t);
+                },
+            );
+        });
+        let e = b.lea(buf, tid, 2);
+        b.st_global_u32(e, acc);
+    });
+    b.finish()
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let kf = big_kernel();
+    c.bench_function("compile/backend", |bench| {
+        bench.iter(|| Compiler::new().compile(std::hint::black_box(&kf)).unwrap())
+    });
+    c.bench_function("compile/backend_capped16", |bench| {
+        bench.iter(|| {
+            Compiler::new()
+                .max_regs(16)
+                .compile(std::hint::black_box(&kf))
+                .unwrap()
+        })
+    });
+
+    let func = Compiler::new().compile(&kf).unwrap();
+    let mut sassi = Sassi::new();
+    sassi.on_before(
+        SiteFilter::ALL,
+        InfoFlags::NONE,
+        Box::new(FnHandler::free(|_| {})),
+    );
+    c.bench_function("compile/sassi_pass_all_sites", |bench| {
+        bench.iter(|| sassi.apply(std::hint::black_box(&func), 0))
+    });
+    let mut mem = Sassi::new();
+    mem.on_before(
+        SiteFilter::MEMORY,
+        InfoFlags::MEMORY,
+        Box::new(FnHandler::free(|_| {})),
+    );
+    c.bench_function("compile/sassi_pass_memory_sites", |bench| {
+        bench.iter(|| mem.apply(std::hint::black_box(&func), 0))
+    });
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

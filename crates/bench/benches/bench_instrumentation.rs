@@ -1,0 +1,59 @@
+//! Criterion benchmark: end-to-end cost of running an instrumented
+//! kernel relative to its baseline — the per-configuration slope behind
+//! Table 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sassi::{FnHandler, InfoFlags, Sassi, SiteFilter};
+use sassi_workloads::{by_name, execute};
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let w = by_name("nn").unwrap();
+    let mut g = c.benchmark_group("instrumentation");
+    g.sample_size(10);
+
+    g.bench_function("baseline", |bench| {
+        bench.iter(|| {
+            let rep = execute(w.as_ref(), None, None);
+            assert!(rep.output.is_ok());
+            rep.kernel_cycles
+        })
+    });
+
+    let configs: [(&str, SiteFilter, InfoFlags); 3] = [
+        (
+            "before_branches",
+            SiteFilter::COND_BRANCHES,
+            InfoFlags::COND_BRANCH,
+        ),
+        ("before_memory", SiteFilter::MEMORY, InfoFlags::MEMORY),
+        ("before_all", SiteFilter::ALL, InfoFlags::NONE),
+    ];
+    for (label, filter, what) in configs {
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                let mut sassi = Sassi::new();
+                sassi.on_before(filter, what, Box::new(FnHandler::free(|_| {})));
+                let rep = execute(w.as_ref(), Some(&mut sassi), None);
+                assert!(rep.output.is_ok());
+                rep.kernel_cycles
+            })
+        });
+    }
+    g.bench_function("after_reg_writes", |bench| {
+        bench.iter(|| {
+            let mut sassi = Sassi::new();
+            sassi.on_after(
+                SiteFilter::REG_WRITES,
+                InfoFlags::REGISTERS,
+                Box::new(FnHandler::free(|_| {})),
+            );
+            let rep = execute(w.as_ref(), Some(&mut sassi), None);
+            assert!(rep.output.is_ok());
+            rep.kernel_cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_instrumentation);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark: one representative workload through each case
+//! study — the regeneration cost of each table/figure row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sassi_studies::{branch, inject, memdiv, value};
+use sassi_workloads::by_name;
+
+fn bench_studies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("studies");
+    g.sample_size(10);
+
+    g.bench_function("table1_row/sgemm_small", |b| {
+        b.iter(|| branch::run(by_name("sgemm (small)").unwrap().as_ref()))
+    });
+    g.bench_function("fig7_row/spmv_small", |b| {
+        b.iter(|| memdiv::run(by_name("spmv (small)").unwrap().as_ref()))
+    });
+    g.bench_function("table2_row/nn", |b| {
+        b.iter(|| value::run(by_name("nn").unwrap().as_ref()))
+    });
+    g.bench_function("fig10_injection/nn_x5", |b| {
+        b.iter(|| inject::run_campaign(by_name("nn").unwrap().as_ref(), 5, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_studies);
+criterion_main!(benches);

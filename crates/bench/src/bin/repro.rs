@@ -1,0 +1,173 @@
+//! `repro` — regenerates every table and figure of the paper.
+
+use sassi_bench::save_json;
+use sassi_studies::{branch, inject, memdiv, overhead, report, value};
+use sassi_workloads::{by_name, fig10_set, fig7_set, table1_set, table2_set, table3_set};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "table1" => table1(),
+        "fig5" => fig5(),
+        "fig7" => fig7(),
+        "fig8" => fig8(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "fig10" => {
+            let runs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+            fig10(runs);
+        }
+        "ablation-stub" => ablation_stub(),
+        "ablation-spill" => ablation_spill(),
+        "all" => {
+            table1();
+            fig5();
+            fig7();
+            fig8();
+            table2();
+            table3();
+            fig10(150);
+            ablation_stub();
+            ablation_spill();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("usage: repro [table1|fig5|fig7|fig8|table2|table3|fig10 [runs]|ablation-stub|ablation-spill|all]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1() {
+    let mut rows = Vec::new();
+    for w in table1_set() {
+        eprintln!("[table1] {}", w.name());
+        rows.push(branch::run(w.as_ref()));
+    }
+    println!("{}", report::table1(&rows));
+    save_json(
+        "table1",
+        &rows.iter().map(|r| r.row.clone()).collect::<Vec<_>>(),
+    );
+}
+
+fn fig5() {
+    for name in ["bfs (1M)", "bfs (UT)"] {
+        eprintln!("[fig5] {name}");
+        let study = branch::run(by_name(name).unwrap().as_ref());
+        println!("{}", report::figure5(&study, 12));
+        save_json(
+            &format!("fig5_{}", name.replace(['(', ')', ' '], "")),
+            &study.per_branch,
+        );
+    }
+}
+
+fn fig7() {
+    let mut studies = Vec::new();
+    for w in fig7_set() {
+        eprintln!("[fig7] {}", w.name());
+        studies.push(memdiv::run(w.as_ref()));
+    }
+    println!("{}", report::figure7(&studies));
+    save_json(
+        "fig7",
+        &studies
+            .iter()
+            .map(|s| (s.name.clone(), s.pmf.clone(), s.fully_diverged))
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn fig8() {
+    for name in ["miniFE (CSR)", "miniFE (ELL)"] {
+        eprintln!("[fig8] {name}");
+        let study = memdiv::run(by_name(name).unwrap().as_ref());
+        println!("{}", report::figure8(&study));
+        save_json(
+            &format!("fig8_{}", name.replace(['(', ')', ' '], "")),
+            &study.matrix,
+        );
+    }
+}
+
+fn table2() {
+    let mut rows = Vec::new();
+    for w in table2_set() {
+        eprintln!("[table2] {}", w.name());
+        rows.push(value::run(w.as_ref()));
+    }
+    println!("{}", report::table2(&rows));
+    save_json("table2", &rows);
+}
+
+fn table3() {
+    let mut rows = Vec::new();
+    for w in table3_set() {
+        eprintln!("[table3] {}", w.name());
+        rows.push(overhead::run(w.as_ref()));
+    }
+    println!("{}", report::table3(&rows));
+    save_json("table3", &rows);
+}
+
+fn fig10(runs: usize) {
+    let mut campaigns = Vec::new();
+    for w in fig10_set() {
+        eprintln!("[fig10] {} ({runs} injections)", w.name());
+        campaigns.push(inject::run_campaign(w.as_ref(), runs, 0xC0FFEE));
+    }
+    println!("{}", report::figure10(&campaigns));
+    save_json("fig10", &campaigns);
+}
+
+fn ablation_stub() {
+    println!("Stub-handler ablation (§9.1): kernel slowdown with full vs empty handler");
+    let mut rows = Vec::new();
+    for name in ["nn", "sad", "kmeans", "stencil", "spmv (small)"] {
+        let w = by_name(name).unwrap();
+        let row = overhead::run(w.as_ref());
+        println!(
+            "  {:<14} value-profiling {:>6.1}x | stub {:>6.1}x | stub fraction {:.0}%",
+            row.name,
+            row.slowdowns[2].kernel,
+            row.stub.kernel,
+            100.0 * row.stub_fraction
+        );
+        rows.push(row);
+    }
+    let mean = rows.iter().map(|r| r.stub_fraction).sum::<f64>() / rows.len() as f64;
+    println!(
+        "  mean stub fraction: {:.0}% (paper reports ~80%)",
+        100.0 * mean
+    );
+    save_json("ablation_stub", &rows);
+}
+
+fn ablation_spill() {
+    println!("Liveness ablation: liveness-driven minimal saves vs save-everything (binary-rewriter baseline)");
+    println!(
+        "{:<16} {:>14} {:>16} {:>12} {:>10}",
+        "benchmark", "avg saves/site", "save-all (=15)", "liveness K", "save-all K"
+    );
+    for name in [
+        "nn",
+        "sgemm (small)",
+        "bfs (1M)",
+        "heartwall",
+        "miniFE (CSR)",
+    ] {
+        let w = by_name(name).unwrap();
+        let (live, all) = overhead::spill_ablation(w.as_ref());
+        let (k_live, k_all) = overhead::run_spill_policy_ablation(w.as_ref());
+        println!(
+            "{:<16} {:>14.1} {:>16.0} {:>11.1}x {:>9.1}x",
+            w.name(),
+            live,
+            all,
+            k_live,
+            k_all
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Instrumentation specifications: *where* to instrument and *what*
+//! information to collect — the analogue of SASSI's `ptxas` command-line
+//! flags (paper §3.1–3.2).
+
+use sassi_isa::Instr;
+use serde::{Deserialize, Serialize};
+
+/// Whether instrumentation runs before or after the instruction.
+///
+/// `After` is unsupported on control transfers, exactly as in the paper
+/// ("SASSI also supports inserting instrumentation after all
+/// instructions other than branches and jumps").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum InstPoint {
+    /// Insert the handler call before the instruction.
+    Before,
+    /// Insert the handler call after the instruction.
+    After,
+}
+
+/// Selects the instructions (or pseudo-sites) to instrument.
+///
+/// Combine flags with [`SiteFilter::or`] or `|`-style builders.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct SiteFilter(u32);
+
+impl SiteFilter {
+    /// Every instruction.
+    pub const ALL: SiteFilter = SiteFilter(1);
+    /// Instructions that touch memory.
+    pub const MEMORY: SiteFilter = SiteFilter(1 << 1);
+    /// Conditional control transfers (guarded branches).
+    pub const COND_BRANCHES: SiteFilter = SiteFilter(1 << 2);
+    /// All control transfers.
+    pub const CONTROL_XFER: SiteFilter = SiteFilter(1 << 3);
+    /// Call instructions.
+    pub const CALLS: SiteFilter = SiteFilter(1 << 4);
+    /// Instructions that write at least one GPR.
+    pub const REG_WRITES: SiteFilter = SiteFilter(1 << 5);
+    /// Instructions that read at least one GPR.
+    pub const REG_READS: SiteFilter = SiteFilter(1 << 6);
+    /// Basic-block headers (pseudo-site at each block's first
+    /// instruction).
+    pub const BB_HEADERS: SiteFilter = SiteFilter(1 << 7);
+    /// Kernel entry (pseudo-site before the first instruction).
+    pub const KERNEL_ENTRY: SiteFilter = SiteFilter(1 << 8);
+    /// Kernel exit (before every `EXIT`).
+    pub const KERNEL_EXIT: SiteFilter = SiteFilter(1 << 9);
+    /// Instructions that touch memory *or* are texture loads.
+    pub const TEXTURE: SiteFilter = SiteFilter(1 << 10);
+    /// Instructions that write at least one predicate register.
+    pub const PRED_WRITES: SiteFilter = SiteFilter(1 << 11);
+
+    /// The empty filter.
+    pub fn none() -> SiteFilter {
+        SiteFilter(0)
+    }
+
+    /// Union of two filters.
+    #[must_use]
+    pub fn or(self, other: SiteFilter) -> SiteFilter {
+        SiteFilter(self.0 | other.0)
+    }
+
+    /// Whether `other`'s bits are all present.
+    pub fn contains(self, other: SiteFilter) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether an ordinary instruction site matches this filter.
+    pub fn matches(self, ins: &Instr) -> bool {
+        if self.contains(SiteFilter::ALL) {
+            return true;
+        }
+        let c = ins.class();
+        (self.contains(SiteFilter::MEMORY) && c.is_mem())
+            || (self.contains(SiteFilter::COND_BRANCHES) && c.is_cond_control_xfer())
+            || (self.contains(SiteFilter::CONTROL_XFER) && c.is_control_xfer())
+            || (self.contains(SiteFilter::CALLS) && matches!(ins.op, sassi_isa::Op::Jcal { .. }))
+            || (self.contains(SiteFilter::REG_WRITES) && ins.defs_uses().defs.gpr_count() > 0)
+            || (self.contains(SiteFilter::REG_READS) && ins.defs_uses().uses.gpr_count() > 0)
+            || (self.contains(SiteFilter::TEXTURE) && c.is_texture())
+            || (self.contains(SiteFilter::PRED_WRITES) && ins.defs_uses().defs.pred_count() > 0)
+    }
+}
+
+impl std::ops::BitOr for SiteFilter {
+    type Output = SiteFilter;
+
+    fn bitor(self, rhs: SiteFilter) -> SiteFilter {
+        self.or(rhs)
+    }
+}
+
+/// Selects the parameter objects the trampoline constructs and passes
+/// to the handler — the "what to collect" axis (§3.2: memory addresses,
+/// conditional-branch information, registers read/written with values).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct InfoFlags(u32);
+
+impl InfoFlags {
+    /// No extra object: only `SASSIBeforeParams`/`SASSIAfterParams`.
+    pub const NONE: InfoFlags = InfoFlags(0);
+    /// Build a `SASSIMemoryParams` (effective address, width,
+    /// properties) for memory sites.
+    pub const MEMORY: InfoFlags = InfoFlags(1);
+    /// Build a `SASSICondBranchParams` (per-lane direction, targets)
+    /// for conditional-branch sites.
+    pub const COND_BRANCH: InfoFlags = InfoFlags(1 << 1);
+    /// Build a `SASSIRegisterParams` (destination registers and their
+    /// values) — the basis of value profiling.
+    pub const REGISTERS: InfoFlags = InfoFlags(1 << 2);
+
+    /// Union.
+    #[must_use]
+    pub fn or(self, other: InfoFlags) -> InfoFlags {
+        InfoFlags(self.0 | other.0)
+    }
+
+    /// Whether `other`'s bits are all present.
+    pub fn contains(self, other: InfoFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::ops::BitOr for InfoFlags {
+    type Output = InfoFlags;
+
+    fn bitor(self, rhs: InfoFlags) -> InfoFlags {
+        self.or(rhs)
+    }
+}
+
+/// How the trampoline chooses which registers to save around the
+/// handler call.
+///
+/// `Liveness` is what a compiler-integrated instrumentor can do (the
+/// paper's approach, §10.3: "the compiler has the needed information to
+/// spill and refill the minimal number of registers"); `SaveEverything`
+/// models a binary rewriter without liveness, which must save the whole
+/// clobberable set at every site.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum SpillPolicy {
+    /// Save live ∩ clobberable registers (minimal, compiler-driven).
+    #[default]
+    Liveness,
+    /// Save the entire clobberable set (R0, R2..R15) at every site.
+    SaveEverything,
+}
+
+/// The handler a trampoline calls.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum HandlerRef {
+    /// A native Rust handler registered under this id.
+    Native(u32),
+    /// A compiled-SASS handler: function index in the link set.
+    Sass(u32),
+}
+
+/// One complete instrumentation directive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct InstrumentSpec {
+    /// Before or after the matched instructions.
+    pub point: InstPoint,
+    /// Which instructions to instrument.
+    pub filter: SiteFilter,
+    /// Which parameter objects to build.
+    pub what: InfoFlags,
+    /// The handler to call.
+    pub handler: HandlerRef,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sassi_isa::{Gpr, Guard, Instr, MemAddr, MemWidth, Op, PredReg, Src};
+
+    fn store() -> Instr {
+        Instr::new(Op::St {
+            v: Gpr::new(0),
+            width: MemWidth::B32,
+            addr: MemAddr::global(Gpr::new(4), 0),
+            spill: false,
+        })
+    }
+
+    fn cond_branch() -> Instr {
+        Instr::guarded(
+            Guard::not(PredReg::new(0)),
+            Op::Bra {
+                target: sassi_isa::Label::Pc(0),
+                uniform: false,
+            },
+        )
+    }
+
+    #[test]
+    fn all_matches_everything() {
+        assert!(SiteFilter::ALL.matches(&store()));
+        assert!(SiteFilter::ALL.matches(&Instr::new(Op::Nop)));
+    }
+
+    #[test]
+    fn memory_filter() {
+        assert!(SiteFilter::MEMORY.matches(&store()));
+        assert!(!SiteFilter::MEMORY.matches(&Instr::new(Op::Nop)));
+    }
+
+    #[test]
+    fn branch_filters() {
+        assert!(SiteFilter::COND_BRANCHES.matches(&cond_branch()));
+        assert!(SiteFilter::CONTROL_XFER.matches(&cond_branch()));
+        let uncond = Instr::new(Op::Bra {
+            target: sassi_isa::Label::Pc(0),
+            uniform: false,
+        });
+        assert!(!SiteFilter::COND_BRANCHES.matches(&uncond));
+        assert!(SiteFilter::CONTROL_XFER.matches(&uncond));
+    }
+
+    #[test]
+    fn reg_write_filter() {
+        let mov = Instr::new(Op::Mov32I {
+            d: Gpr::new(0),
+            imm: 1,
+        });
+        assert!(SiteFilter::REG_WRITES.matches(&mov));
+        assert!(!SiteFilter::REG_WRITES.matches(&store()));
+        assert!(SiteFilter::REG_READS.matches(&store()));
+    }
+
+    #[test]
+    fn filters_combine() {
+        let f = SiteFilter::MEMORY | SiteFilter::COND_BRANCHES;
+        assert!(f.matches(&store()));
+        assert!(f.matches(&cond_branch()));
+        assert!(!f.matches(&Instr::new(Op::Nop)));
+        assert!(f.contains(SiteFilter::MEMORY));
+        assert!(!f.contains(SiteFilter::ALL));
+    }
+
+    #[test]
+    fn info_flags_combine() {
+        let w = InfoFlags::MEMORY | InfoFlags::REGISTERS;
+        assert!(w.contains(InfoFlags::MEMORY));
+        assert!(!w.contains(InfoFlags::COND_BRANCH));
+        assert!(InfoFlags::NONE.contains(InfoFlags::NONE));
+    }
+}

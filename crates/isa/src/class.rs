@@ -1,0 +1,435 @@
+//! Static instruction classification — the facts SASSI exposes to
+//! instrumentation handlers via `SASSIBeforeParams` (paper Figure 2(b)):
+//! memory / control transfer / numeric / texture / sync, plus a compact
+//! static encoding used to populate the `insEncoding` field.
+
+use crate::instr::Instr;
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The opcode family of an instruction, the analogue of the paper's
+/// `SASSIOpcodes` returned by `GetOpcode()`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum OpcodeKind {
+    Mov,
+    Mov32I,
+    S2R,
+    IAdd,
+    ISub,
+    IMul,
+    IMad,
+    IScAdd,
+    IMnMx,
+    Shl,
+    Shr,
+    Lop,
+    Popc,
+    Flo,
+    Brev,
+    Sel,
+    FAdd,
+    FMul,
+    FFma,
+    FMnMx,
+    Mufu,
+    I2F,
+    F2I,
+    ISetP,
+    FSetP,
+    PSetP,
+    P2R,
+    R2P,
+    Ld,
+    St,
+    Tld,
+    Atom,
+    Red,
+    MemBar,
+    Vote,
+    Shfl,
+    Ssy,
+    Sync,
+    Bra,
+    Jcal,
+    Ret,
+    Exit,
+    BarSync,
+    Nop,
+}
+
+impl OpcodeKind {
+    /// Small stable integer for encodings and histograms.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// All opcode kinds, for exhaustive histograms.
+    pub fn all() -> &'static [OpcodeKind] {
+        use OpcodeKind::*;
+        &[
+            Mov, Mov32I, S2R, IAdd, ISub, IMul, IMad, IScAdd, IMnMx, Shl, Shr, Lop, Popc, Flo,
+            Brev, Sel, FAdd, FMul, FFma, FMnMx, Mufu, I2F, F2I, ISetP, FSetP, PSetP, P2R, R2P, Ld,
+            St, Tld, Atom, Red, MemBar, Vote, Shfl, Ssy, Sync, Bra, Jcal, Ret, Exit, BarSync, Nop,
+        ]
+    }
+}
+
+impl fmt::Display for OpcodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The static classification of one instruction.
+///
+/// Constructed by [`Instr::class`]; every query the paper's
+/// `SASSIBeforeParams` offers is answered from here.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct InstrClass {
+    kind: OpcodeKind,
+    mem_read: bool,
+    mem_write: bool,
+    spill: bool,
+    texture: bool,
+    control_xfer: bool,
+    cond_control_xfer: bool,
+    sync: bool,
+    numeric: bool,
+    atomic: bool,
+}
+
+impl InstrClass {
+    /// The opcode family (`GetOpcode()` in the paper).
+    pub fn opcode(&self) -> OpcodeKind {
+        self.kind
+    }
+
+    /// Whether the instruction touches memory (`IsMem`).
+    pub fn is_mem(&self) -> bool {
+        self.mem_read || self.mem_write
+    }
+
+    /// Whether it reads memory (`IsMemRead`).
+    pub fn is_mem_read(&self) -> bool {
+        self.mem_read
+    }
+
+    /// Whether it writes memory (`IsMemWrite`).
+    pub fn is_mem_write(&self) -> bool {
+        self.mem_write
+    }
+
+    /// Whether it is a compiler-generated register spill or fill
+    /// (`IsSpillOrFill`).
+    pub fn is_spill_or_fill(&self) -> bool {
+        self.spill
+    }
+
+    /// Whether it uses the surface-memory path (`IsSurfaceMemory`).
+    /// The simulated machine has no surface memory; always `false`,
+    /// kept for interface parity with the paper.
+    pub fn is_surface_memory(&self) -> bool {
+        false
+    }
+
+    /// Whether it transfers control (`IsControlXfer`): branches, calls,
+    /// returns, exits and reconvergence pops.
+    pub fn is_control_xfer(&self) -> bool {
+        self.control_xfer
+    }
+
+    /// Whether it transfers control conditionally (`IsCondControlXfer`):
+    /// a control transfer under a non-trivial guard.
+    pub fn is_cond_control_xfer(&self) -> bool {
+        self.cond_control_xfer
+    }
+
+    /// Whether it is a synchronization operation (`IsSync`): barriers
+    /// and memory fences.
+    pub fn is_sync(&self) -> bool {
+        self.sync
+    }
+
+    /// Whether it is a numeric (integer or floating-point arithmetic)
+    /// operation (`IsNumeric`).
+    pub fn is_numeric(&self) -> bool {
+        self.numeric
+    }
+
+    /// Whether it uses the texture path (`IsTexture`).
+    pub fn is_texture(&self) -> bool {
+        self.texture
+    }
+
+    /// Whether it is an atomic read-modify-write.
+    pub fn is_atomic(&self) -> bool {
+        self.atomic
+    }
+}
+
+impl Instr {
+    /// Computes the static classification of this instruction.
+    pub fn class(&self) -> InstrClass {
+        let kind = self.opcode();
+        let (mem_read, mem_write, spill, texture, atomic) = match &self.op {
+            Op::Ld { spill, .. } => (true, false, *spill, false, false),
+            Op::St { spill, .. } => (false, true, *spill, false, false),
+            Op::Tld { .. } => (true, false, false, true, false),
+            Op::Atom { .. } => (true, true, false, false, true),
+            Op::Red { .. } => (true, true, false, false, true),
+            _ => (false, false, false, false, false),
+        };
+        let control_xfer = matches!(
+            self.op,
+            Op::Bra { .. } | Op::Jcal { .. } | Op::Ret | Op::Exit | Op::Sync
+        );
+        let cond_control_xfer = control_xfer && self.is_guarded();
+        let sync = matches!(self.op, Op::BarSync | Op::MemBar);
+        let numeric = matches!(
+            self.op,
+            Op::IAdd { .. }
+                | Op::ISub { .. }
+                | Op::IMul { .. }
+                | Op::IMad { .. }
+                | Op::IScAdd { .. }
+                | Op::IMnMx { .. }
+                | Op::Shl { .. }
+                | Op::Shr { .. }
+                | Op::Lop { .. }
+                | Op::Popc { .. }
+                | Op::Flo { .. }
+                | Op::Brev { .. }
+                | Op::FAdd { .. }
+                | Op::FMul { .. }
+                | Op::FFma { .. }
+                | Op::FMnMx { .. }
+                | Op::Mufu { .. }
+                | Op::I2F { .. }
+                | Op::F2I { .. }
+        );
+        InstrClass {
+            kind,
+            mem_read,
+            mem_write,
+            spill,
+            texture,
+            control_xfer,
+            cond_control_xfer,
+            sync,
+            numeric,
+            atomic,
+        }
+    }
+
+    /// The opcode family of this instruction.
+    pub fn opcode(&self) -> OpcodeKind {
+        match &self.op {
+            Op::Mov { .. } => OpcodeKind::Mov,
+            Op::Mov32I { .. } => OpcodeKind::Mov32I,
+            Op::S2R { .. } => OpcodeKind::S2R,
+            Op::IAdd { .. } => OpcodeKind::IAdd,
+            Op::ISub { .. } => OpcodeKind::ISub,
+            Op::IMul { .. } => OpcodeKind::IMul,
+            Op::IMad { .. } => OpcodeKind::IMad,
+            Op::IScAdd { .. } => OpcodeKind::IScAdd,
+            Op::IMnMx { .. } => OpcodeKind::IMnMx,
+            Op::Shl { .. } => OpcodeKind::Shl,
+            Op::Shr { .. } => OpcodeKind::Shr,
+            Op::Lop { .. } => OpcodeKind::Lop,
+            Op::Popc { .. } => OpcodeKind::Popc,
+            Op::Flo { .. } => OpcodeKind::Flo,
+            Op::Brev { .. } => OpcodeKind::Brev,
+            Op::Sel { .. } => OpcodeKind::Sel,
+            Op::FAdd { .. } => OpcodeKind::FAdd,
+            Op::FMul { .. } => OpcodeKind::FMul,
+            Op::FFma { .. } => OpcodeKind::FFma,
+            Op::FMnMx { .. } => OpcodeKind::FMnMx,
+            Op::Mufu { .. } => OpcodeKind::Mufu,
+            Op::I2F { .. } => OpcodeKind::I2F,
+            Op::F2I { .. } => OpcodeKind::F2I,
+            Op::ISetP { .. } => OpcodeKind::ISetP,
+            Op::FSetP { .. } => OpcodeKind::FSetP,
+            Op::PSetP { .. } => OpcodeKind::PSetP,
+            Op::P2R { .. } => OpcodeKind::P2R,
+            Op::R2P { .. } => OpcodeKind::R2P,
+            Op::Ld { .. } => OpcodeKind::Ld,
+            Op::St { .. } => OpcodeKind::St,
+            Op::Tld { .. } => OpcodeKind::Tld,
+            Op::Atom { .. } => OpcodeKind::Atom,
+            Op::Red { .. } => OpcodeKind::Red,
+            Op::MemBar => OpcodeKind::MemBar,
+            Op::Vote { .. } => OpcodeKind::Vote,
+            Op::Shfl { .. } => OpcodeKind::Shfl,
+            Op::Ssy { .. } => OpcodeKind::Ssy,
+            Op::Sync => OpcodeKind::Sync,
+            Op::Bra { .. } => OpcodeKind::Bra,
+            Op::Jcal { .. } => OpcodeKind::Jcal,
+            Op::Ret => OpcodeKind::Ret,
+            Op::Exit => OpcodeKind::Exit,
+            Op::BarSync => OpcodeKind::BarSync,
+            Op::Nop => OpcodeKind::Nop,
+        }
+    }
+
+    /// Packs static properties into a 32-bit word, the value SASSI
+    /// stores into `SASSIBeforeParams::insEncoding`: opcode code in the
+    /// low byte, classification flags above it.
+    pub fn encode_static(&self) -> u32 {
+        let c = self.class();
+        let mut enc = c.opcode().code() as u32;
+        let mut bit = 8;
+        let mut set = |b: bool, bit: &mut u32| {
+            if b {
+                enc |= 1 << *bit;
+            }
+            *bit += 1;
+        };
+        set(c.is_mem(), &mut bit);
+        set(c.is_mem_read(), &mut bit);
+        set(c.is_mem_write(), &mut bit);
+        set(c.is_spill_or_fill(), &mut bit);
+        set(c.is_control_xfer(), &mut bit);
+        set(c.is_cond_control_xfer(), &mut bit);
+        set(c.is_sync(), &mut bit);
+        set(c.is_numeric(), &mut bit);
+        set(c.is_texture(), &mut bit);
+        set(c.is_atomic(), &mut bit);
+        enc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Guard, MemAddr, Src};
+    use crate::op::{AtomOp, MemWidth};
+    use crate::reg::{Gpr, PredReg};
+
+    fn r(n: u8) -> Gpr {
+        Gpr::new(n)
+    }
+
+    #[test]
+    fn load_is_mem_read() {
+        let i = Instr::new(Op::Ld {
+            d: r(0),
+            width: MemWidth::B32,
+            addr: MemAddr::global(r(4), 0),
+            spill: false,
+        });
+        let c = i.class();
+        assert!(c.is_mem() && c.is_mem_read() && !c.is_mem_write());
+        assert!(!c.is_spill_or_fill());
+        assert!(!c.is_numeric());
+    }
+
+    #[test]
+    fn spill_store_flagged() {
+        let i = Instr::new(Op::St {
+            v: r(0),
+            width: MemWidth::B32,
+            addr: MemAddr::local(Gpr::SP, 8),
+            spill: true,
+        });
+        assert!(i.class().is_spill_or_fill());
+        assert!(i.class().is_mem_write());
+    }
+
+    #[test]
+    fn atomic_reads_and_writes() {
+        let i = Instr::new(Op::Atom {
+            d: r(0),
+            op: AtomOp::Add,
+            addr: MemAddr::global(r(4), 0),
+            v: r(6),
+            v2: None,
+            wide: false,
+        });
+        let c = i.class();
+        assert!(c.is_mem_read() && c.is_mem_write() && c.is_atomic());
+    }
+
+    #[test]
+    fn texture_classified() {
+        let i = Instr::new(Op::Tld {
+            d: r(0),
+            width: MemWidth::B32,
+            addr: MemAddr::global(r(4), 0),
+        });
+        assert!(i.class().is_texture());
+        assert!(i.class().is_mem_read());
+    }
+
+    #[test]
+    fn conditional_branch_classification() {
+        let plain = Instr::new(Op::Bra {
+            target: crate::Label::Pc(0),
+            uniform: false,
+        });
+        assert!(plain.class().is_control_xfer());
+        assert!(!plain.class().is_cond_control_xfer());
+
+        let guarded = Instr::guarded(
+            Guard::not(PredReg::new(0)),
+            Op::Bra {
+                target: crate::Label::Pc(0),
+                uniform: false,
+            },
+        );
+        assert!(guarded.class().is_cond_control_xfer());
+    }
+
+    #[test]
+    fn numeric_and_sync() {
+        let add = Instr::new(Op::IAdd {
+            d: r(0),
+            a: r(1),
+            b: Src::Imm(1),
+            x: false,
+            cc: false,
+        });
+        assert!(add.class().is_numeric());
+        let bar = Instr::new(Op::BarSync);
+        assert!(bar.class().is_sync());
+        assert!(!bar.class().is_numeric());
+    }
+
+    #[test]
+    fn surface_memory_always_false() {
+        let i = Instr::new(Op::Nop);
+        assert!(!i.class().is_surface_memory());
+    }
+
+    #[test]
+    fn encoding_distinguishes_classes() {
+        let ld = Instr::new(Op::Ld {
+            d: r(0),
+            width: MemWidth::B32,
+            addr: MemAddr::global(r(4), 0),
+            spill: false,
+        });
+        let st = Instr::new(Op::St {
+            v: r(0),
+            width: MemWidth::B32,
+            addr: MemAddr::global(r(4), 0),
+            spill: false,
+        });
+        assert_ne!(ld.encode_static(), st.encode_static());
+        assert_eq!(ld.encode_static() & 0xff, OpcodeKind::Ld.code() as u32);
+    }
+
+    #[test]
+    fn opcode_kind_roundtrip_all() {
+        // every kind appears exactly once in `all`
+        let all = OpcodeKind::all();
+        for (i, k) in all.iter().enumerate() {
+            assert_eq!(
+                all.iter().filter(|x| **x == *k).count(),
+                1,
+                "duplicate {k:?} at {i}"
+            );
+        }
+    }
+}

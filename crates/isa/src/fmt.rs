@@ -1,0 +1,554 @@
+//! SASS-style textual disassembly (`Display` for [`Instr`]).
+//!
+//! The output deliberately mimics `cuobjdump`-style SASS listings, e.g.
+//! `@P0 ST.E [R10], R0;` — useful for debugging kernels and for showing
+//! instrumented code the way the paper's Figure 2(a) does.
+
+use crate::instr::{Instr, Label, MemAddr, Src};
+use crate::op::{MemWidth, Op};
+use crate::space::AddrSpace;
+use std::fmt;
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Reg(r) => write!(f, "{r}"),
+            Src::Imm(v) => {
+                if *v < 10 {
+                    write!(f, "{v}")
+                } else {
+                    write!(f, "{v:#x}")
+                }
+            }
+            Src::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Pc(pc) => write!(f, "`({pc})"),
+            Label::Func(id) => write!(f, "`func{id}"),
+            Label::Handler(id) => write!(f, "`handler{id}"),
+        }
+    }
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "[{}]", self.base)
+        } else if self.offset > 0 {
+            write!(f, "[{}+{:#x}]", self.base, self.offset)
+        } else {
+            write!(f, "[{}-{:#x}]", self.base, -self.offset)
+        }
+    }
+}
+
+fn mem_mnemonic(load: bool, space: AddrSpace, width: MemWidth) -> String {
+    let base = match (load, space) {
+        (true, AddrSpace::Generic) => "LD.E".to_string(),
+        (false, AddrSpace::Generic) => "ST.E".to_string(),
+        (true, s) => format!("LD{}", s.suffix()),
+        (false, s) => format!("ST{}", s.suffix()),
+    };
+    format!("{base}{}", width.suffix())
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.guard.is_always() {
+            if self.guard.neg {
+                write!(f, "@!{} ", self.guard.pred)?;
+            } else {
+                write!(f, "@{} ", self.guard.pred)?;
+            }
+        }
+        match &self.op {
+            Op::Mov { d, a } => write!(f, "MOV {d}, {a}"),
+            Op::Mov32I { d, imm } => write!(f, "MOV32I {d}, {imm:#x}"),
+            Op::S2R { d, sr } => write!(f, "S2R {d}, {sr}"),
+            Op::IAdd { d, a, b, x, cc } => {
+                let x = if *x { ".X" } else { "" };
+                let cc = if *cc { ".CC" } else { "" };
+                write!(f, "IADD{x} {d}{cc}, {a}, {b}")
+            }
+            Op::ISub { d, a, b } => write!(f, "IADD {d}, {a}, -{b}"),
+            Op::IMul {
+                d,
+                a,
+                b,
+                signed,
+                hi,
+            } => {
+                let s = if *signed { "" } else { ".U32" };
+                let h = if *hi { ".HI" } else { "" };
+                write!(f, "IMUL{s}{h} {d}, {a}, {b}")
+            }
+            Op::IMad { d, a, b, c } => write!(f, "IMAD {d}, {a}, {b}, {c}"),
+            Op::IScAdd { d, a, b, shift } => write!(f, "ISCADD {d}, {a}, {b}, {shift:#x}"),
+            Op::IMnMx { d, a, b, min, .. } => {
+                write!(
+                    f,
+                    "IMNMX {d}, {a}, {b}, {}",
+                    if *min { "PT" } else { "!PT" }
+                )
+            }
+            Op::Shl { d, a, b } => write!(f, "SHL {d}, {a}, {b}"),
+            Op::Shr { d, a, b, signed } => {
+                write!(f, "SHR{} {d}, {a}, {b}", if *signed { "" } else { ".U32" })
+            }
+            Op::Lop { d, op, a, b, inv_b } => {
+                let inv = if *inv_b { "~" } else { "" };
+                write!(f, "LOP.{} {d}, {a}, {inv}{b}", op.mnemonic())
+            }
+            Op::Popc { d, a } => write!(f, "POPC {d}, {a}"),
+            Op::Flo { d, a } => write!(f, "FLO.U32 {d}, {a}"),
+            Op::Brev { d, a } => write!(f, "BREV {d}, {a}"),
+            Op::Sel { d, a, b, p, neg_p } => {
+                let n = if *neg_p { "!" } else { "" };
+                write!(f, "SEL {d}, {a}, {b}, {n}{p}")
+            }
+            Op::FAdd {
+                d,
+                a,
+                b,
+                neg_a,
+                neg_b,
+            } => {
+                let na = if *neg_a { "-" } else { "" };
+                let nb = if *neg_b { "-" } else { "" };
+                write!(f, "FADD {d}, {na}{a}, {nb}{b}")
+            }
+            Op::FMul { d, a, b } => write!(f, "FMUL {d}, {a}, {b}"),
+            Op::FFma {
+                d,
+                a,
+                b,
+                c,
+                neg_b,
+                neg_c,
+            } => {
+                let nb = if *neg_b { "-" } else { "" };
+                let nc = if *neg_c { "-" } else { "" };
+                write!(f, "FFMA {d}, {a}, {nb}{b}, {nc}{c}")
+            }
+            Op::FMnMx { d, a, b, min } => {
+                write!(
+                    f,
+                    "FMNMX {d}, {a}, {b}, {}",
+                    if *min { "PT" } else { "!PT" }
+                )
+            }
+            Op::Mufu { d, func, a } => write!(f, "MUFU.{} {d}, {a}", func.mnemonic()),
+            Op::I2F { d, a, .. } => write!(f, "I2F.F32 {d}, {a}"),
+            Op::F2I { d, a, .. } => write!(f, "F2I.TRUNC {d}, {a}"),
+            Op::ISetP {
+                p,
+                cmp,
+                a,
+                b,
+                signed,
+                combine,
+            } => {
+                let s = if *signed { "" } else { ".U32" };
+                write!(f, "ISETP.{}{s}.AND {p}, PT, {a}, {b}", cmp.mnemonic())?;
+                if let Some((cp, neg)) = combine {
+                    write!(f, ", {}{cp}", if *neg { "!" } else { "" })?;
+                } else {
+                    write!(f, ", PT")?;
+                }
+                Ok(())
+            }
+            Op::FSetP { p, cmp, a, b } => {
+                write!(f, "FSETP.{}.AND {p}, PT, {a}, {b}, PT", cmp.mnemonic())
+            }
+            Op::PSetP {
+                p,
+                op,
+                a,
+                b,
+                neg_a,
+                neg_b,
+            } => {
+                let na = if *neg_a { "!" } else { "" };
+                let nb = if *neg_b { "!" } else { "" };
+                write!(
+                    f,
+                    "PSETP.{}.AND {p}, PT, {na}{a}, {nb}{b}, PT",
+                    op.mnemonic()
+                )
+            }
+            Op::P2R { d } => write!(f, "P2R {d}, PR, RZ, 0x7f"),
+            Op::R2P { a } => write!(f, "R2P PR, {a}, 0x7f"),
+            Op::Ld {
+                d,
+                width,
+                addr,
+                spill,
+            } => {
+                let lcl = if *spill { ".SPILL" } else { "" };
+                write!(
+                    f,
+                    "{}{lcl} {d}, {addr}",
+                    mem_mnemonic(true, addr.space, *width)
+                )
+            }
+            Op::St {
+                v,
+                width,
+                addr,
+                spill,
+            } => {
+                let lcl = if *spill { ".SPILL" } else { "" };
+                write!(
+                    f,
+                    "{}{lcl} {addr}, {v}",
+                    mem_mnemonic(false, addr.space, *width)
+                )
+            }
+            Op::Tld { d, width, addr } => {
+                write!(f, "TLD.LZ{} {d}, {addr}", width.suffix())
+            }
+            Op::Atom {
+                d,
+                op,
+                addr,
+                v,
+                v2,
+                wide,
+            } => {
+                let w = if *wide { ".64" } else { "" };
+                write!(f, "ATOM.{}{w} {d}, {addr}, {v}", op.mnemonic())?;
+                if let Some(v2) = v2 {
+                    write!(f, ", {v2}")?;
+                }
+                Ok(())
+            }
+            Op::Red { op, addr, v, wide } => {
+                let w = if *wide { ".64" } else { "" };
+                write!(f, "RED.{}{w} {addr}, {v}", op.mnemonic())
+            }
+            Op::MemBar => write!(f, "MEMBAR.GL"),
+            Op::Vote {
+                mode,
+                d,
+                p_out,
+                src,
+                neg_src,
+            } => {
+                let n = if *neg_src { "!" } else { "" };
+                match p_out {
+                    Some(p) => write!(f, "VOTE.{} {d}, {p}, {n}{src}", mode.mnemonic()),
+                    None => write!(f, "VOTE.{} {d}, {n}{src}", mode.mnemonic()),
+                }
+            }
+            Op::Shfl {
+                mode,
+                d,
+                a,
+                b,
+                c,
+                p_out,
+            } => match p_out {
+                Some(p) => write!(f, "SHFL.{} {p}, {d}, {a}, {b}, {c}", mode.mnemonic()),
+                None => write!(f, "SHFL.{} PT, {d}, {a}, {b}, {c}", mode.mnemonic()),
+            },
+            Op::Ssy { target } => write!(f, "SSY {target}"),
+            Op::Sync => write!(f, "SYNC"),
+            Op::Bra { target, uniform } => {
+                write!(f, "BRA{} {target}", if *uniform { ".U" } else { "" })
+            }
+            Op::Jcal { target } => write!(f, "JCAL {target}"),
+            Op::Ret => write!(f, "RET"),
+            Op::Exit => write!(f, "EXIT"),
+            Op::BarSync => write!(f, "BAR.SYNC 0x0"),
+            Op::Nop => write!(f, "NOP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Guard;
+    use crate::reg::{Gpr, PredReg};
+
+    fn r(n: u8) -> Gpr {
+        Gpr::new(n)
+    }
+
+    #[test]
+    fn figure2_style_store() {
+        // The paper's Figure 2(a) original instruction: @P0 ST.E [R10], R0;
+        let i = Instr::guarded(
+            Guard::on(PredReg::new(0)),
+            Op::St {
+                v: r(0),
+                width: MemWidth::B32,
+                addr: MemAddr::generic(r(10), 0),
+                spill: false,
+            },
+        );
+        assert_eq!(i.to_string(), "@P0 ST.E [R10], R0");
+    }
+
+    #[test]
+    fn figure2_style_stack_adjust() {
+        let i = Instr::new(Op::IAdd {
+            d: Gpr::SP,
+            a: Gpr::SP,
+            b: Src::Imm(-0x80i32 as u32),
+            x: false,
+            cc: false,
+        });
+        assert_eq!(i.to_string(), "IADD R1, R1, 0xffffff80");
+    }
+
+    #[test]
+    fn local_store_with_offset() {
+        let i = Instr::new(Op::St {
+            v: r(0),
+            width: MemWidth::B32,
+            addr: MemAddr::local(Gpr::SP, 0x18),
+            spill: false,
+        });
+        assert_eq!(i.to_string(), "STL [R1+0x18], R0");
+    }
+
+    #[test]
+    fn wide_local_store() {
+        let i = Instr::new(Op::St {
+            v: r(10),
+            width: MemWidth::B64,
+            addr: MemAddr::local(Gpr::SP, 0x60),
+            spill: false,
+        });
+        assert_eq!(i.to_string(), "STL.64 [R1+0x60], R10");
+    }
+
+    #[test]
+    fn negated_guard() {
+        let i = Instr::guarded(Guard::not(PredReg::new(0)), Op::Sync);
+        assert_eq!(i.to_string(), "@!P0 SYNC");
+    }
+
+    #[test]
+    fn every_op_formats_nonempty() {
+        use crate::op::{AtomOp, CmpOp, LogicOp, MufuFunc, ShflMode, VoteMode};
+        use crate::reg::SpecialReg;
+        let ops = vec![
+            Op::Mov {
+                d: r(0),
+                a: Src::Imm(1),
+            },
+            Op::Mov32I {
+                d: r(0),
+                imm: 0xdead,
+            },
+            Op::S2R {
+                d: r(0),
+                sr: SpecialReg::TidX,
+            },
+            Op::IAdd {
+                d: r(0),
+                a: r(1),
+                b: Src::Imm(1),
+                x: true,
+                cc: true,
+            },
+            Op::ISub {
+                d: r(0),
+                a: r(1),
+                b: Src::Imm(1),
+            },
+            Op::IMul {
+                d: r(0),
+                a: r(1),
+                b: Src::Imm(3),
+                signed: false,
+                hi: true,
+            },
+            Op::IMad {
+                d: r(0),
+                a: r(1),
+                b: Src::Imm(3),
+                c: r(2),
+            },
+            Op::IScAdd {
+                d: r(0),
+                a: r(1),
+                b: Src::Reg(r(2)),
+                shift: 2,
+            },
+            Op::IMnMx {
+                d: r(0),
+                a: r(1),
+                b: Src::Imm(3),
+                min: true,
+                signed: true,
+            },
+            Op::Shl {
+                d: r(0),
+                a: r(1),
+                b: Src::Imm(2),
+            },
+            Op::Shr {
+                d: r(0),
+                a: r(1),
+                b: Src::Imm(2),
+                signed: true,
+            },
+            Op::Lop {
+                d: r(0),
+                op: LogicOp::Or,
+                a: r(1),
+                b: Src::Const(crate::CBankAddr::new(0, 0x24)),
+                inv_b: false,
+            },
+            Op::Popc { d: r(0), a: r(1) },
+            Op::Flo { d: r(0), a: r(1) },
+            Op::Brev { d: r(0), a: r(1) },
+            Op::Sel {
+                d: r(0),
+                a: r(1),
+                b: Src::Imm(0),
+                p: PredReg::new(0),
+                neg_p: true,
+            },
+            Op::FAdd {
+                d: r(0),
+                a: r(1),
+                b: Src::Reg(r(2)),
+                neg_a: false,
+                neg_b: true,
+            },
+            Op::FMul {
+                d: r(0),
+                a: r(1),
+                b: Src::Reg(r(2)),
+            },
+            Op::FFma {
+                d: r(0),
+                a: r(1),
+                b: Src::Reg(r(2)),
+                c: r(3),
+                neg_b: false,
+                neg_c: false,
+            },
+            Op::FMnMx {
+                d: r(0),
+                a: r(1),
+                b: Src::Reg(r(2)),
+                min: false,
+            },
+            Op::Mufu {
+                d: r(0),
+                func: MufuFunc::Rcp,
+                a: r(1),
+            },
+            Op::I2F {
+                d: r(0),
+                a: r(1),
+                from: crate::IntWidth::S32,
+            },
+            Op::F2I {
+                d: r(0),
+                a: r(1),
+                to: crate::IntWidth::S32,
+            },
+            Op::ISetP {
+                p: PredReg::new(0),
+                cmp: CmpOp::Lt,
+                a: r(1),
+                b: Src::Imm(5),
+                signed: true,
+                combine: Some((PredReg::new(1), true)),
+            },
+            Op::FSetP {
+                p: PredReg::new(0),
+                cmp: CmpOp::Ge,
+                a: r(1),
+                b: Src::Reg(r(2)),
+            },
+            Op::PSetP {
+                p: PredReg::new(0),
+                op: LogicOp::And,
+                a: PredReg::new(1),
+                b: PredReg::new(2),
+                neg_a: true,
+                neg_b: false,
+            },
+            Op::P2R { d: r(3) },
+            Op::R2P { a: r(3) },
+            Op::Ld {
+                d: r(0),
+                width: MemWidth::B32,
+                addr: MemAddr::global(r(4), -8),
+                spill: false,
+            },
+            Op::St {
+                v: r(0),
+                width: MemWidth::U8,
+                addr: MemAddr::shared(r(4), 4),
+                spill: false,
+            },
+            Op::Tld {
+                d: r(0),
+                width: MemWidth::B32,
+                addr: MemAddr::global(r(4), 0),
+            },
+            Op::Atom {
+                d: r(0),
+                op: AtomOp::Cas,
+                addr: MemAddr::global(r(4), 0),
+                v: r(6),
+                v2: Some(r(8)),
+                wide: false,
+            },
+            Op::Red {
+                op: AtomOp::Add,
+                addr: MemAddr::global(r(4), 0),
+                v: r(6),
+                wide: true,
+            },
+            Op::MemBar,
+            Op::Vote {
+                mode: VoteMode::Ballot,
+                d: r(0),
+                p_out: None,
+                src: PredReg::PT,
+                neg_src: false,
+            },
+            Op::Shfl {
+                mode: ShflMode::Idx,
+                d: r(0),
+                a: r(1),
+                b: Src::Imm(0),
+                c: Src::Imm(0x1f),
+                p_out: Some(PredReg::new(1)),
+            },
+            Op::Ssy {
+                target: Label::Pc(10),
+            },
+            Op::Sync,
+            Op::Bra {
+                target: Label::Pc(3),
+                uniform: true,
+            },
+            Op::Jcal {
+                target: Label::Handler(0),
+            },
+            Op::Ret,
+            Op::Exit,
+            Op::BarSync,
+            Op::Nop,
+        ];
+        for op in ops {
+            let s = Instr::new(op).to_string();
+            assert!(!s.is_empty());
+        }
+    }
+}

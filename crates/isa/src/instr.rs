@@ -1,0 +1,256 @@
+//! Instructions: a guard predicate plus an operation, and the operand
+//! building blocks (`Src`, `MemAddr`, `Label`).
+
+use crate::op::Op;
+use crate::reg::{CBankAddr, Gpr, PredReg};
+use crate::space::AddrSpace;
+use serde::{Deserialize, Serialize};
+
+/// A source operand: register, immediate, or constant-bank slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Src {
+    /// A general-purpose register.
+    Reg(Gpr),
+    /// A 32-bit immediate.
+    Imm(u32),
+    /// A constant-bank slot `c[bank][offset]`.
+    Const(CBankAddr),
+}
+
+impl Src {
+    /// The register named by the operand, if any.
+    pub fn reg(self) -> Option<Gpr> {
+        match self {
+            Src::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl From<Gpr> for Src {
+    fn from(r: Gpr) -> Src {
+        Src::Reg(r)
+    }
+}
+
+impl From<u32> for Src {
+    fn from(v: u32) -> Src {
+        Src::Imm(v)
+    }
+}
+
+impl From<i32> for Src {
+    fn from(v: i32) -> Src {
+        Src::Imm(v as u32)
+    }
+}
+
+impl From<CBankAddr> for Src {
+    fn from(c: CBankAddr) -> Src {
+        Src::Const(c)
+    }
+}
+
+/// A branch / call target.
+///
+/// Before linking, calls may name a function or an instrumentation
+/// handler symbolically; the linker rewrites `Func` targets to absolute
+/// `Pc` values in the module's flat code space. `Handler` targets
+/// survive linking: they trap into native instrumentation handlers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Label {
+    /// An absolute instruction index in the module's code space (after
+    /// linking) or a function-relative index (before linking).
+    Pc(u32),
+    /// A linked device function, by function id.
+    Func(u32),
+    /// A native instrumentation handler trap, by handler id.
+    Handler(u32),
+}
+
+/// A memory operand: `[base + offset]` within an address space.
+///
+/// For `Global`/`Generic` accesses the base is a 64-bit register *pair*
+/// (`base` holds the low word, `base.pair_hi()` the high word). For
+/// `Local`/`Shared` the base is a single 32-bit register. A base of
+/// `RZ` yields an absolute address equal to `offset`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MemAddr {
+    /// Address space of the access.
+    pub space: AddrSpace,
+    /// Base register (low word of a pair for 64-bit spaces).
+    pub base: Gpr,
+    /// Byte offset added to the base.
+    pub offset: i32,
+}
+
+impl MemAddr {
+    /// Global-space operand `[Rb(+1) + offset]`.
+    pub fn global(base: Gpr, offset: i32) -> MemAddr {
+        MemAddr {
+            space: AddrSpace::Global,
+            base,
+            offset,
+        }
+    }
+
+    /// Local-space operand `[Rb + offset]` (per-thread stack slab).
+    pub fn local(base: Gpr, offset: i32) -> MemAddr {
+        MemAddr {
+            space: AddrSpace::Local,
+            base,
+            offset,
+        }
+    }
+
+    /// Shared-space operand `[Rb + offset]`.
+    pub fn shared(base: Gpr, offset: i32) -> MemAddr {
+        MemAddr {
+            space: AddrSpace::Shared,
+            base,
+            offset,
+        }
+    }
+
+    /// Generic operand `[Rb(+1) + offset]`, resolved through the window
+    /// tags at execution time.
+    pub fn generic(base: Gpr, offset: i32) -> MemAddr {
+        MemAddr {
+            space: AddrSpace::Generic,
+            base,
+            offset,
+        }
+    }
+
+    /// Whether the base is a 64-bit register pair.
+    pub fn is_wide_base(&self) -> bool {
+        matches!(self.space, AddrSpace::Global | AddrSpace::Generic)
+    }
+}
+
+/// The guard predicate of an instruction (`@P0`, `@!P3`, or always).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Guard {
+    /// The predicate register consulted.
+    pub pred: PredReg,
+    /// Whether the predicate is complemented (`@!P`).
+    pub neg: bool,
+}
+
+impl Guard {
+    /// The always-true guard (`@PT`).
+    pub const ALWAYS: Guard = Guard {
+        pred: PredReg::PT,
+        neg: false,
+    };
+
+    /// Guard that fires when `p` is true.
+    pub fn on(p: PredReg) -> Guard {
+        Guard {
+            pred: p,
+            neg: false,
+        }
+    }
+
+    /// Guard that fires when `p` is false.
+    pub fn not(p: PredReg) -> Guard {
+        Guard { pred: p, neg: true }
+    }
+
+    /// Whether the guard is statically always true.
+    pub fn is_always(&self) -> bool {
+        self.pred.is_pt() && !self.neg
+    }
+
+    /// Whether the guard is statically always false (`@!PT`).
+    pub fn is_never(&self) -> bool {
+        self.pred.is_pt() && self.neg
+    }
+}
+
+impl Default for Guard {
+    fn default() -> Guard {
+        Guard::ALWAYS
+    }
+}
+
+/// A machine instruction: an operation under a guard predicate.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Instr {
+    /// The guard predicate; lanes where it is false skip the operation.
+    pub guard: Guard,
+    /// The operation and its operands.
+    pub op: Op,
+}
+
+impl Instr {
+    /// Unguarded instruction.
+    pub fn new(op: Op) -> Instr {
+        Instr {
+            guard: Guard::ALWAYS,
+            op,
+        }
+    }
+
+    /// Instruction guarded by `guard`.
+    pub fn guarded(guard: Guard, op: Op) -> Instr {
+        Instr { guard, op }
+    }
+
+    /// Whether the instruction carries a non-trivial guard, which is
+    /// what makes a branch *conditional* for SASSI's
+    /// `IsCondControlXfer` classification.
+    pub fn is_guarded(&self) -> bool {
+        !self.guard.is_always()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn guard_constructors() {
+        let p = PredReg::new(2);
+        assert!(
+            Guard::on(p)
+                == Guard {
+                    pred: p,
+                    neg: false
+                }
+        );
+        assert!(Guard::not(p).neg);
+        assert!(Guard::ALWAYS.is_always());
+        assert!(Guard {
+            pred: PredReg::PT,
+            neg: true
+        }
+        .is_never());
+    }
+
+    #[test]
+    fn src_conversions() {
+        assert_eq!(Src::from(Gpr::new(3)), Src::Reg(Gpr::new(3)));
+        assert_eq!(Src::from(7u32), Src::Imm(7));
+        assert_eq!(Src::from(-1i32), Src::Imm(u32::MAX));
+        assert_eq!(Src::Imm(4).reg(), None);
+        assert_eq!(Src::Reg(Gpr::RZ).reg(), Some(Gpr::RZ));
+    }
+
+    #[test]
+    fn memaddr_wide_base() {
+        assert!(MemAddr::global(Gpr::new(4), 0).is_wide_base());
+        assert!(MemAddr::generic(Gpr::new(4), 0).is_wide_base());
+        assert!(!MemAddr::local(Gpr::SP, 8).is_wide_base());
+        assert!(!MemAddr::shared(Gpr::new(2), 0).is_wide_base());
+    }
+
+    #[test]
+    fn instr_guard_query() {
+        let i = Instr::new(Op::Nop);
+        assert!(!i.is_guarded());
+        let g = Instr::guarded(Guard::not(PredReg::new(0)), Op::Nop);
+        assert!(g.is_guarded());
+    }
+}

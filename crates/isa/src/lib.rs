@@ -1,0 +1,77 @@
+//! # sassi-isa — a SASS-like GPU assembly ISA
+//!
+//! This crate defines the machine ISA of the simulated GPU used throughout
+//! the SASSI reproduction. It plays the role NVIDIA's native **SASS** ISA
+//! plays in the paper *Flexible Software Profiling of GPU Architectures*
+//! (ISCA 2015): the level at which the backend compiler emits code and at
+//! which the SASSI instrumentor operates.
+//!
+//! The ISA is deliberately Kepler-flavoured:
+//!
+//! * 255 general-purpose 32-bit registers `R0..R254` plus the always-zero
+//!   register `RZ`; 64-bit values live in aligned, adjacent register pairs.
+//! * seven predicate registers `P0..P6` plus the always-true `PT`, and a
+//!   condition-code register `CC`.
+//! * every instruction can be guarded by a predicate (`@P0 ...`,
+//!   `@!P2 ...`).
+//! * SIMT control flow via `SSY`/`SYNC` reconvergence and predicated
+//!   branches, warp-wide `VOTE`/`SHFL`/`POPC`, block-wide `BAR.SYNC`.
+//! * explicit memory spaces (global / local / shared / generic) with
+//!   coalescing-relevant widths of 1–16 bytes.
+//!
+//! The crate is purely *definitional*: execution semantics live in
+//! `sassi-sim`, compilation in `sassi-kir`, and instrumentation in the
+//! `sassi` core crate. What lives here is everything SASSI needs to ask
+//! about an instruction statically: its operands, its register
+//! defs/uses, and its *classification* (memory / control transfer /
+//! numeric / texture / sync — the predicates exposed to handlers through
+//! `SASSIBeforeParams` in the paper's Figure 2).
+//!
+//! ```
+//! use sassi_isa::{Gpr, Instr, Op, Src, Guard};
+//!
+//! let i = Instr::new(Op::IAdd {
+//!     d: Gpr::new(4),
+//!     a: Gpr::RZ,
+//!     b: Src::Imm(0x15),
+//!     x: false,
+//!     cc: false,
+//! });
+//! assert!(i.class().is_numeric());
+//! assert_eq!(i.to_string(), "IADD R4, RZ, 0x15");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod class;
+mod fmt;
+mod instr;
+mod op;
+mod prog;
+mod reg;
+mod rw;
+mod space;
+
+pub use class::{InstrClass, OpcodeKind};
+pub use instr::{Guard, Instr, Label, MemAddr, Src};
+pub use op::{
+    AtomOp, CmpOp, FloatWidth, IntWidth, LogicOp, MemWidth, MufuFunc, Op, ShflMode, VoteMode,
+};
+pub use prog::{Function, FunctionMeta};
+pub use reg::{cbank0, CBankAddr, Gpr, PredReg, SpecialReg};
+pub use rw::{RegDefsUses, RegSet};
+pub use space::{
+    is_global, resolve_generic, AddrSpace, GENERIC_LOCAL_TAG, GENERIC_SHARED_TAG, GLOBAL_HEAP_BASE,
+    NULL_GUARD_TOP,
+};
+
+/// Number of threads in a warp. Fixed at 32, as on all NVIDIA
+/// architectures the paper targets (Fermi, Kepler, Maxwell).
+pub const WARP_SIZE: usize = 32;
+
+/// A 32-lane mask, one bit per thread in a warp (bit *n* = lane *n*).
+pub type LaneMask = u32;
+
+/// Mask with all 32 lanes active.
+pub const FULL_MASK: LaneMask = u32::MAX;

@@ -1,0 +1,527 @@
+//! The operation payload of an instruction: opcodes with their operands.
+
+use crate::instr::{Label, MemAddr, Src};
+use crate::reg::{Gpr, PredReg, SpecialReg};
+use serde::{Deserialize, Serialize};
+
+/// Integer comparison / set-predicate conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpOp {
+    /// SASS mnemonic suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "LT",
+            CmpOp::Le => "LE",
+            CmpOp::Gt => "GT",
+            CmpOp::Ge => "GE",
+            CmpOp::Eq => "EQ",
+            CmpOp::Ne => "NE",
+        }
+    }
+
+    /// Evaluates the comparison on signed 64-bit promoted operands.
+    pub fn eval_i64(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// Evaluates the comparison on `f32` operands (IEEE semantics: any
+    /// comparison with NaN except `Ne` is false).
+    pub fn eval_f32(self, a: f32, b: f32) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// Bitwise logic operations for `LOP` and predicate combination.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum LogicOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Pass the second operand through unchanged (`LOP.PASS_B`).
+    PassB,
+}
+
+impl LogicOp {
+    /// SASS mnemonic suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            LogicOp::And => "AND",
+            LogicOp::Or => "OR",
+            LogicOp::Xor => "XOR",
+            LogicOp::PassB => "PASS_B",
+        }
+    }
+
+    /// Applies the operation to 32-bit values.
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            LogicOp::And => a & b,
+            LogicOp::Or => a | b,
+            LogicOp::Xor => a ^ b,
+            LogicOp::PassB => b,
+        }
+    }
+}
+
+/// Atomic read-modify-write operations (`ATOM` / `RED`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AtomOp {
+    /// Integer add.
+    Add,
+    /// Unsigned minimum.
+    Min,
+    /// Unsigned maximum.
+    Max,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Exchange (swap).
+    Exch,
+    /// Compare-and-swap.
+    Cas,
+}
+
+impl AtomOp {
+    /// SASS mnemonic suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AtomOp::Add => "ADD",
+            AtomOp::Min => "MIN",
+            AtomOp::Max => "MAX",
+            AtomOp::And => "AND",
+            AtomOp::Or => "OR",
+            AtomOp::Xor => "XOR",
+            AtomOp::Exch => "EXCH",
+            AtomOp::Cas => "CAS",
+        }
+    }
+}
+
+/// Access widths for loads and stores, in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MemWidth {
+    /// 1 byte, zero-extended on load.
+    U8,
+    /// 1 byte, sign-extended on load.
+    S8,
+    /// 2 bytes, zero-extended on load.
+    U16,
+    /// 2 bytes, sign-extended on load.
+    S16,
+    /// 4 bytes.
+    B32,
+    /// 8 bytes (register pair).
+    B64,
+    /// 16 bytes (four consecutive registers).
+    B128,
+}
+
+impl MemWidth {
+    /// Width of the access in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::U8 | MemWidth::S8 => 1,
+            MemWidth::U16 | MemWidth::S16 => 2,
+            MemWidth::B32 => 4,
+            MemWidth::B64 => 8,
+            MemWidth::B128 => 16,
+        }
+    }
+
+    /// Number of consecutive 32-bit registers transferred.
+    pub fn regs(self) -> u8 {
+        match self {
+            MemWidth::B64 => 2,
+            MemWidth::B128 => 4,
+            _ => 1,
+        }
+    }
+
+    /// SASS mnemonic suffix (empty for the default 32-bit width).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MemWidth::U8 => ".U8",
+            MemWidth::S8 => ".S8",
+            MemWidth::U16 => ".U16",
+            MemWidth::S16 => ".S16",
+            MemWidth::B32 => "",
+            MemWidth::B64 => ".64",
+            MemWidth::B128 => ".128",
+        }
+    }
+}
+
+/// Transcendental / special-function unit operations (`MUFU`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MufuFunc {
+    /// Reciprocal, `1/x`.
+    Rcp,
+    /// Square root.
+    Sqrt,
+    /// Reciprocal square root.
+    Rsq,
+    /// Base-2 exponential.
+    Ex2,
+    /// Base-2 logarithm.
+    Lg2,
+    /// Sine (argument in radians).
+    Sin,
+    /// Cosine (argument in radians).
+    Cos,
+}
+
+impl MufuFunc {
+    /// SASS mnemonic suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MufuFunc::Rcp => "RCP",
+            MufuFunc::Sqrt => "SQRT",
+            MufuFunc::Rsq => "RSQ",
+            MufuFunc::Ex2 => "EX2",
+            MufuFunc::Lg2 => "LG2",
+            MufuFunc::Sin => "SIN",
+            MufuFunc::Cos => "COS",
+        }
+    }
+
+    /// Applies the function.
+    pub fn eval(self, x: f32) -> f32 {
+        match self {
+            MufuFunc::Rcp => 1.0 / x,
+            MufuFunc::Sqrt => x.sqrt(),
+            MufuFunc::Rsq => 1.0 / x.sqrt(),
+            MufuFunc::Ex2 => x.exp2(),
+            MufuFunc::Lg2 => x.log2(),
+            MufuFunc::Sin => x.sin(),
+            MufuFunc::Cos => x.cos(),
+        }
+    }
+}
+
+/// Warp vote modes (`VOTE`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum VoteMode {
+    /// True iff the predicate holds on every active lane (`__all`).
+    All,
+    /// True iff the predicate holds on any active lane (`__any`).
+    Any,
+    /// Bit mask of active lanes where the predicate holds (`__ballot`).
+    Ballot,
+}
+
+impl VoteMode {
+    /// SASS mnemonic suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            VoteMode::All => "ALL",
+            VoteMode::Any => "ANY",
+            VoteMode::Ballot => "BALLOT",
+        }
+    }
+}
+
+/// Warp shuffle modes (`SHFL`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ShflMode {
+    /// Read from an absolute lane index (`__shfl`).
+    Idx,
+    /// Read from `lane - delta` (`__shfl_up`).
+    Up,
+    /// Read from `lane + delta` (`__shfl_down`).
+    Down,
+    /// Read from `lane ^ mask` (`__shfl_xor`).
+    Bfly,
+}
+
+impl ShflMode {
+    /// SASS mnemonic suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShflMode::Idx => "IDX",
+            ShflMode::Up => "UP",
+            ShflMode::Down => "DOWN",
+            ShflMode::Bfly => "BFLY",
+        }
+    }
+}
+
+/// Integer widths for conversions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IntWidth {
+    /// Signed 32-bit.
+    S32,
+    /// Unsigned 32-bit.
+    U32,
+}
+
+/// Floating-point widths for conversions (the simulated machine computes
+/// in `f32`; `F64` is accepted for ISA completeness and modelled as
+/// `f32` precision).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FloatWidth {
+    /// 32-bit IEEE float.
+    F32,
+}
+
+/// An operation: the opcode plus its operands.
+///
+/// The variants cover the subset of Kepler SASS needed by realistic
+/// compute kernels, the SASSI trampoline of the paper's Figure 2, and
+/// instrumentation handlers compiled under the 16-register cap.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)] // operand fields are documented by convention: d = dest, a/b/c = sources
+pub enum Op {
+    // ---- data movement -------------------------------------------------
+    /// `MOV d, a` — copy a 32-bit value.
+    Mov { d: Gpr, a: Src },
+    /// `MOV32I d, imm` — load a 32-bit immediate.
+    Mov32I { d: Gpr, imm: u32 },
+    /// `S2R d, sr` — read a special register.
+    S2R { d: Gpr, sr: SpecialReg },
+
+    // ---- integer arithmetic ---------------------------------------------
+    /// `IADD[.X] d, a, b` — integer add; `x` consumes the carry flag,
+    /// `cc` writes it. Subtraction is `neg_b`.
+    IAdd {
+        d: Gpr,
+        a: Gpr,
+        b: Src,
+        x: bool,
+        cc: bool,
+    },
+    /// `IADD` with negated b operand (`IADD d, a, -b`).
+    ISub { d: Gpr, a: Gpr, b: Src },
+    /// `IMUL d, a, b` — low 32 bits of the product.
+    IMul {
+        d: Gpr,
+        a: Gpr,
+        b: Src,
+        signed: bool,
+        hi: bool,
+    },
+    /// `IMAD d, a, b, c` — `d = a*b + c` (low 32 bits).
+    IMad { d: Gpr, a: Gpr, b: Src, c: Gpr },
+    /// `ISCADD d, a, b, shift` — `d = (a << shift) + b`.
+    IScAdd { d: Gpr, a: Gpr, b: Src, shift: u8 },
+    /// `IMNMX d, a, b` — integer min (`min == true`) or max.
+    IMnMx {
+        d: Gpr,
+        a: Gpr,
+        b: Src,
+        min: bool,
+        signed: bool,
+    },
+    /// `SHL d, a, b` — logical shift left.
+    Shl { d: Gpr, a: Gpr, b: Src },
+    /// `SHR d, a, b` — shift right; arithmetic if `signed`.
+    Shr {
+        d: Gpr,
+        a: Gpr,
+        b: Src,
+        signed: bool,
+    },
+    /// `LOP.op d, a, b` — bitwise logic; `inv_b` complements b first.
+    Lop {
+        d: Gpr,
+        op: LogicOp,
+        a: Gpr,
+        b: Src,
+        inv_b: bool,
+    },
+    /// `POPC d, a` — population count.
+    Popc { d: Gpr, a: Gpr },
+    /// `FLO d, a` — find leading one (bit index of MSB set, `0xffffffff`
+    /// if a is zero).
+    Flo { d: Gpr, a: Gpr },
+    /// `BREV d, a` — bit reverse.
+    Brev { d: Gpr, a: Gpr },
+    /// `SEL d, a, b, p` — `d = p ? a : b`.
+    Sel {
+        d: Gpr,
+        a: Gpr,
+        b: Src,
+        p: PredReg,
+        neg_p: bool,
+    },
+
+    // ---- floating point --------------------------------------------------
+    /// `FADD d, a, b` — float add; `neg_a`/`neg_b` negate inputs.
+    FAdd {
+        d: Gpr,
+        a: Gpr,
+        b: Src,
+        neg_a: bool,
+        neg_b: bool,
+    },
+    /// `FMUL d, a, b`.
+    FMul { d: Gpr, a: Gpr, b: Src },
+    /// `FFMA d, a, b, c` — fused `a*b + c`.
+    FFma {
+        d: Gpr,
+        a: Gpr,
+        b: Src,
+        c: Gpr,
+        neg_b: bool,
+        neg_c: bool,
+    },
+    /// `FMNMX d, a, b` — float min/max.
+    FMnMx { d: Gpr, a: Gpr, b: Src, min: bool },
+    /// `MUFU.func d, a` — special function unit.
+    Mufu { d: Gpr, func: MufuFunc, a: Gpr },
+
+    // ---- conversions ------------------------------------------------------
+    /// `I2F d, a` — int to float.
+    I2F { d: Gpr, a: Gpr, from: IntWidth },
+    /// `F2I d, a` — float to int (round toward zero).
+    F2I { d: Gpr, a: Gpr, to: IntWidth },
+
+    // ---- predicates / CC ---------------------------------------------------
+    /// `ISETP.cmp p, a, b` — integer compare into a predicate; the result
+    /// is optionally ANDed with `combine` (possibly negated).
+    ISetP {
+        p: PredReg,
+        cmp: CmpOp,
+        a: Gpr,
+        b: Src,
+        signed: bool,
+        combine: Option<(PredReg, bool)>,
+    },
+    /// `FSETP.cmp p, a, b` — float compare into a predicate.
+    FSetP {
+        p: PredReg,
+        cmp: CmpOp,
+        a: Gpr,
+        b: Src,
+    },
+    /// `PSETP p, op, a, b` — predicate logic (`neg_*` complement inputs).
+    PSetP {
+        p: PredReg,
+        op: LogicOp,
+        a: PredReg,
+        b: PredReg,
+        neg_a: bool,
+        neg_b: bool,
+    },
+    /// `P2R d` — pack predicate registers P0..P6 into bits 0..6 of d.
+    P2R { d: Gpr },
+    /// `R2P a` — unpack bits 0..6 of a into predicate registers P0..P6.
+    R2P { a: Gpr },
+
+    // ---- memory ---------------------------------------------------------
+    /// `LD{G,L,S,.E} d, [addr]` — load. `spill` marks compiler-generated
+    /// register fills (reported through `IsSpillOrFill`).
+    Ld {
+        d: Gpr,
+        width: MemWidth,
+        addr: MemAddr,
+        spill: bool,
+    },
+    /// `ST{G,L,S,.E} [addr], v`.
+    St {
+        v: Gpr,
+        width: MemWidth,
+        addr: MemAddr,
+        spill: bool,
+    },
+    /// `TLD d, [addr]` — texture-path load (read-only, classified as
+    /// texture for SASSI purposes).
+    Tld {
+        d: Gpr,
+        width: MemWidth,
+        addr: MemAddr,
+    },
+    /// `ATOM d, op, [addr], v[, v2]` — atomic RMW returning the old value.
+    Atom {
+        d: Gpr,
+        op: AtomOp,
+        addr: MemAddr,
+        v: Gpr,
+        v2: Option<Gpr>,
+        wide: bool,
+    },
+    /// `RED op, [addr], v` — reduction (atomic without return value).
+    Red {
+        op: AtomOp,
+        addr: MemAddr,
+        v: Gpr,
+        wide: bool,
+    },
+    /// `MEMBAR` — memory fence.
+    MemBar,
+
+    // ---- warp-wide -------------------------------------------------------
+    /// `VOTE.mode d, p` — warp vote; ballot result into `d` (RZ to
+    /// discard), ANY/ALL verdict into `p_out` if given.
+    Vote {
+        mode: VoteMode,
+        d: Gpr,
+        p_out: Option<PredReg>,
+        src: PredReg,
+        neg_src: bool,
+    },
+    /// `SHFL.mode d, a, b, c` — warp shuffle; `p_out` is set if the
+    /// source lane was in range.
+    Shfl {
+        mode: ShflMode,
+        d: Gpr,
+        a: Gpr,
+        b: Src,
+        c: Src,
+        p_out: Option<PredReg>,
+    },
+
+    // ---- control flow ----------------------------------------------------
+    /// `SSY target` — push a reconvergence point.
+    Ssy { target: Label },
+    /// `SYNC` — this path is done; park active lanes at the pending
+    /// reconvergence point (predicated `@!P0 SYNC` parks only some lanes).
+    Sync,
+    /// `BRA target` — branch (conditional when guarded).
+    Bra { target: Label, uniform: bool },
+    /// `JCAL target` — absolute call. Targets a linked function or an
+    /// instrumentation handler trap address.
+    Jcal { target: Label },
+    /// `RET` — return from call.
+    Ret,
+    /// `EXIT` — thread terminates.
+    Exit,
+    /// `BAR.SYNC` — block-wide barrier.
+    BarSync,
+    /// `NOP`.
+    Nop,
+}

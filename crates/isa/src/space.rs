@@ -1,0 +1,136 @@
+//! The device virtual address map shared by the compiler, the
+//! instrumentor and the simulator.
+//!
+//! Generic 64-bit addresses are partitioned into windows, mirroring how
+//! NVIDIA GPUs resolve generic pointers in the load/store unit:
+//!
+//! | range | space |
+//! |---|---|
+//! | `0x0000_0000 .. 0x0001_0000` | null guard page (always faults) |
+//! | `GENERIC_LOCAL_TAG | off` | per-thread local (stack) memory |
+//! | `GENERIC_SHARED_TAG | off` | per-block shared memory |
+//! | `GLOBAL_HEAP_BASE ..` | global memory heap |
+//!
+//! The local window tag is published to kernels in `c[0x0][0x24]` so
+//! that code can form a generic pointer to a stack slot with a single
+//! `LOP.OR` — the exact idiom the paper's Figure 2 trampoline uses to
+//! pass stack-allocated parameter objects to instrumentation handlers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory spaces an access can name statically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AddrSpace {
+    /// Device-wide global memory.
+    Global,
+    /// Per-thread local memory (stack, spill slots).
+    Local,
+    /// Per-block shared scratchpad.
+    Shared,
+    /// Generic: resolved against the window tags at execution time.
+    Generic,
+}
+
+impl AddrSpace {
+    /// Short SASS-style suffix (`LDG`, `LDL`, `LDS`, `LD.E`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            AddrSpace::Global => "G",
+            AddrSpace::Local => "L",
+            AddrSpace::Shared => "S",
+            AddrSpace::Generic => ".E",
+        }
+    }
+}
+
+impl fmt::Display for AddrSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AddrSpace::Global => "global",
+            AddrSpace::Local => "local",
+            AddrSpace::Shared => "shared",
+            AddrSpace::Generic => "generic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Addresses below this value fault: the null guard page.
+pub const NULL_GUARD_TOP: u64 = 0x1_0000;
+
+/// Window tag marking a generic address as *local*. The low 24 bits are
+/// the byte offset within the thread's local slab.
+pub const GENERIC_LOCAL_TAG: u64 = 0x0100_0000;
+
+/// Window tag marking a generic address as *shared*. The low 24 bits are
+/// the byte offset within the block's shared segment.
+pub const GENERIC_SHARED_TAG: u64 = 0x0200_0000;
+
+/// First byte of the global heap in the generic address space.
+pub const GLOBAL_HEAP_BASE: u64 = 0x1000_0000;
+
+/// Classifies a generic address into the space it resolves to.
+///
+/// Returns `None` for addresses in the null guard page or in the gap
+/// between windows — the simulator turns those into memory-violation
+/// faults.
+pub fn resolve_generic(addr: u64) -> Option<(AddrSpace, u64)> {
+    if addr < NULL_GUARD_TOP {
+        return None;
+    }
+    if addr & !0xff_ffff == GENERIC_LOCAL_TAG {
+        return Some((AddrSpace::Local, addr & 0xff_ffff));
+    }
+    if addr & !0xff_ffff == GENERIC_SHARED_TAG {
+        return Some((AddrSpace::Shared, addr & 0xff_ffff));
+    }
+    if addr >= GLOBAL_HEAP_BASE {
+        return Some((AddrSpace::Global, addr));
+    }
+    None
+}
+
+/// Reports whether a generic address points into global memory, the
+/// analogue of CUDA's `__isGlobal` used by the paper's Figure 6 handler
+/// to filter non-global requests out of the divergence profile.
+pub fn is_global(addr: u64) -> bool {
+    matches!(resolve_generic(addr), Some((AddrSpace::Global, _)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_page_faults() {
+        assert_eq!(resolve_generic(0), None);
+        assert_eq!(resolve_generic(0xffff), None);
+    }
+
+    #[test]
+    fn local_window_resolves() {
+        let a = GENERIC_LOCAL_TAG | 0x80;
+        assert_eq!(resolve_generic(a), Some((AddrSpace::Local, 0x80)));
+        assert!(!is_global(a));
+    }
+
+    #[test]
+    fn shared_window_resolves() {
+        let a = GENERIC_SHARED_TAG | 0x1234;
+        assert_eq!(resolve_generic(a), Some((AddrSpace::Shared, 0x1234)));
+    }
+
+    #[test]
+    fn global_heap_resolves() {
+        let a = GLOBAL_HEAP_BASE + 64;
+        assert_eq!(resolve_generic(a), Some((AddrSpace::Global, a)));
+        assert!(is_global(a));
+    }
+
+    #[test]
+    fn window_gap_faults() {
+        assert_eq!(resolve_generic(0x0300_0000), None);
+        assert_eq!(resolve_generic(GLOBAL_HEAP_BASE - 1), None);
+    }
+}

@@ -1,0 +1,1511 @@
+//! The kernel builder: a structured, typed DSL for authoring device
+//! kernels, playing the role CUDA source plays in the paper's flow.
+//!
+//! The builder hands out typed value handles ([`V32`], [`V64`], [`VP`])
+//! backed by virtual registers and provides structured control flow
+//! (`if_`, `if_else`, `while_`, `for_range`) that lowers to
+//! `SSY`/`SYNC`-based SIMT reconvergence. The backend compiler
+//! ([`crate::Compiler`]) then allocates registers and emits SASS.
+//!
+//! ```
+//! use sassi_kir::KernelBuilder;
+//!
+//! // vadd: out[i] = a[i] + b[i] for i < n
+//! let mut b = KernelBuilder::kernel("vadd");
+//! let i = b.global_tid_x();
+//! let n = b.param_u32(0);
+//! let pa = b.param_ptr(1);
+//! let pb = b.param_ptr(2);
+//! let po = b.param_ptr(3);
+//! let p = b.setp_u32_lt(i, n);
+//! b.if_(p, |b| {
+//!     let ea = b.lea(pa, i, 2);
+//!     let eb = b.lea(pb, i, 2);
+//!     let x = b.ld_global_u32(ea);
+//!     let y = b.ld_global_u32(eb);
+//!     let s = b.fadd(x, y);
+//!     let eo = b.lea(po, i, 2);
+//!     b.st_global_u32(eo, s);
+//! });
+//! let f = b.finish();
+//! assert!(f.instrs.len() > 5);
+//! ```
+
+use crate::kop::{FBinOp, IBinOp, IUnOp, KAddr, KInstr, KOp};
+use crate::vreg::{LabelId, VClass, VReg, VSrc, V32, V64, VP};
+use sassi_isa::{
+    cbank0, AddrSpace, AtomOp, CBankAddr, CmpOp, LogicOp, MemWidth, MufuFunc, ShflMode, SpecialReg,
+    VoteMode,
+};
+use serde::{Deserialize, Serialize};
+
+/// A function in kernel IR, ready for the backend compiler.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KFunction {
+    /// Symbol name.
+    pub name: String,
+    /// Instruction stream with symbolic labels.
+    pub instrs: Vec<KInstr>,
+    /// Class of each virtual register, indexed by `VReg::index`.
+    pub classes: Vec<VClass>,
+    /// Number of labels allocated.
+    pub num_labels: u32,
+    /// Bytes of stack frame used by explicit local arrays.
+    pub frame_bytes: u32,
+    /// Bytes of shared memory required per block.
+    pub shared_bytes: u32,
+    /// Whether this is an ABI function (instrumentation handler):
+    /// parameters arrive in R4:R5 / R6:R7 and it returns via `RET`.
+    pub abi_function: bool,
+}
+
+/// A byte range in the function's stack frame, from
+/// [`KernelBuilder::frame_alloc`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameSlot {
+    /// Byte offset of the slot from the frame base.
+    pub offset: i32,
+    /// Size in bytes.
+    pub bytes: u32,
+}
+
+/// A byte range in the block's shared memory, from
+/// [`KernelBuilder::shared_alloc`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SharedSlot {
+    /// Byte offset of the slot from the shared segment base.
+    pub offset: u32,
+    /// Size in bytes.
+    pub bytes: u32,
+}
+
+struct LoopCtx {
+    head: LabelId,
+    end: LabelId,
+}
+
+/// Builds a [`KFunction`] with structured control flow.
+pub struct KernelBuilder {
+    f: KFunction,
+    loops: Vec<LoopCtx>,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel entry function.
+    pub fn kernel(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            f: KFunction {
+                name: name.into(),
+                instrs: Vec::new(),
+                classes: Vec::new(),
+                num_labels: 0,
+                frame_bytes: 0,
+                shared_bytes: 0,
+                abi_function: false,
+            },
+            loops: Vec::new(),
+        }
+    }
+
+    /// Starts building an ABI device function (an instrumentation
+    /// handler): parameters are 64-bit pointers in R4:R5 and R6:R7, and
+    /// the function must end with [`KernelBuilder::ret`].
+    pub fn abi_function(name: impl Into<String>) -> KernelBuilder {
+        let mut b = KernelBuilder::kernel(name);
+        b.f.abi_function = true;
+        b
+    }
+
+    /// Finishes the function, appending the implicit terminator
+    /// (`EXIT` for kernels, `RET` for ABI functions) if the stream does
+    /// not already end with one.
+    pub fn finish(mut self) -> KFunction {
+        assert!(self.loops.is_empty(), "unclosed loop context");
+        let needs_term = !matches!(
+            self.f.instrs.last().map(|i| &i.op),
+            Some(KOp::Exit) | Some(KOp::Ret)
+        );
+        if needs_term {
+            if self.f.abi_function {
+                self.push(KOp::Ret);
+            } else {
+                self.push(KOp::Exit);
+            }
+        }
+        self.f
+    }
+
+    // ---- raw plumbing ---------------------------------------------------
+
+    fn new_vreg(&mut self, class: VClass) -> VReg {
+        let id = self.f.classes.len() as u32;
+        self.f.classes.push(class);
+        VReg(id)
+    }
+
+    fn push(&mut self, op: KOp) {
+        self.f.instrs.push(KInstr::new(op));
+    }
+
+    fn push_guarded(&mut self, p: VP, neg: bool, op: KOp) {
+        self.f.instrs.push(KInstr {
+            guard: Some((p.0, neg)),
+            op,
+        });
+    }
+
+    /// Allocates a fresh label.
+    pub fn new_label(&mut self) -> LabelId {
+        let id = LabelId(self.f.num_labels);
+        self.f.num_labels += 1;
+        id
+    }
+
+    /// Places a label at the current position.
+    pub fn place_label(&mut self, l: LabelId) {
+        self.push(KOp::Label { id: l });
+    }
+
+    fn new32(&mut self) -> V32 {
+        V32(self.new_vreg(VClass::B32))
+    }
+
+    fn new64(&mut self) -> V64 {
+        V64(self.new_vreg(VClass::B64))
+    }
+
+    fn newp(&mut self) -> VP {
+        VP(self.new_vreg(VClass::Pred))
+    }
+
+    // ---- constants & special values --------------------------------------
+
+    /// 32-bit integer constant.
+    pub fn iconst(&mut self, v: u32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Imm32 { d: d.0, v });
+        d
+    }
+
+    /// 32-bit float constant.
+    pub fn fconst(&mut self, v: f32) -> V32 {
+        self.iconst(v.to_bits())
+    }
+
+    /// 64-bit integer constant.
+    pub fn iconst64(&mut self, v: u64) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Imm64 { d: d.0, v });
+        d
+    }
+
+    /// Boolean constant predicate.
+    pub fn pconst(&mut self, v: bool) -> VP {
+        let p = self.newp();
+        self.push(KOp::PImm { p: p.0, v });
+        p
+    }
+
+    fn special(&mut self, sr: SpecialReg) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Special { d: d.0, sr });
+        d
+    }
+
+    /// `threadIdx.x`.
+    pub fn tid_x(&mut self) -> V32 {
+        self.special(SpecialReg::TidX)
+    }
+
+    /// `threadIdx.y`.
+    pub fn tid_y(&mut self) -> V32 {
+        self.special(SpecialReg::TidY)
+    }
+
+    /// `blockIdx.x`.
+    pub fn ctaid_x(&mut self) -> V32 {
+        self.special(SpecialReg::CtaIdX)
+    }
+
+    /// `blockIdx.y`.
+    pub fn ctaid_y(&mut self) -> V32 {
+        self.special(SpecialReg::CtaIdY)
+    }
+
+    /// `blockDim.x`.
+    pub fn ntid_x(&mut self) -> V32 {
+        self.special(SpecialReg::NTidX)
+    }
+
+    /// `blockDim.y`.
+    pub fn ntid_y(&mut self) -> V32 {
+        self.special(SpecialReg::NTidY)
+    }
+
+    /// `gridDim.x`.
+    pub fn nctaid_x(&mut self) -> V32 {
+        self.special(SpecialReg::NCtaIdX)
+    }
+
+    /// Lane index within the warp.
+    pub fn lane_id(&mut self) -> V32 {
+        self.special(SpecialReg::LaneId)
+    }
+
+    /// `blockIdx.x * blockDim.x + threadIdx.x` — the canonical global
+    /// thread index.
+    pub fn global_tid_x(&mut self) -> V32 {
+        let ctaid = self.ctaid_x();
+        let ntid = self.ntid_x();
+        let tid = self.tid_x();
+        self.imad(ctaid, VSrc::from(ntid), tid)
+    }
+
+    // ---- kernel parameters -------------------------------------------------
+    //
+    // Parameters occupy consecutive 8-byte slots in constant bank 0
+    // starting at `cbank0::PARAM_BASE`, matching the runtime's argument
+    // marshalling.
+
+    fn param_addr(i: u8) -> CBankAddr {
+        CBankAddr::new(0, cbank0::PARAM_BASE + 8 * i as u16)
+    }
+
+    /// Reads 32-bit kernel parameter `i`.
+    pub fn param_u32(&mut self, i: u8) -> V32 {
+        let d = self.new32();
+        self.push(KOp::LdConst32 {
+            d: d.0,
+            addr: Self::param_addr(i),
+        });
+        d
+    }
+
+    /// Reads 32-bit float kernel parameter `i`.
+    pub fn param_f32(&mut self, i: u8) -> V32 {
+        self.param_u32(i)
+    }
+
+    /// Reads 64-bit pointer kernel parameter `i`.
+    pub fn param_ptr(&mut self, i: u8) -> V64 {
+        let d = self.new64();
+        self.push(KOp::LdConst64 {
+            d: d.0,
+            addr: Self::param_addr(i),
+        });
+        d
+    }
+
+    /// Reads ABI parameter pair `idx` (handlers only; 0 → R4:R5,
+    /// 1 → R6:R7).
+    pub fn abi_param_ptr(&mut self, idx: u8) -> V64 {
+        assert!(self.f.abi_function, "abi_param_ptr outside ABI function");
+        assert!(idx < 2, "only two ABI parameter pairs are supported");
+        let d = self.new64();
+        self.push(KOp::AbiParam64 { d: d.0, idx });
+        d
+    }
+
+    // ---- 32-bit integer ops -------------------------------------------------
+
+    fn ibin(&mut self, op: IBinOp, a: V32, b: VSrc) -> V32 {
+        let d = self.new32();
+        self.push(KOp::IBin {
+            op,
+            d: d.0,
+            a: a.0,
+            b,
+        });
+        d
+    }
+
+    /// `a + b`.
+    pub fn iadd(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::Add, a, b.into())
+    }
+
+    /// `a - b`.
+    pub fn isub(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::Sub, a, b.into())
+    }
+
+    /// `a * b` (low 32 bits).
+    pub fn imul(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::Mul, a, b.into())
+    }
+
+    /// `a * b + c`.
+    pub fn imad(&mut self, a: V32, b: impl Into<VSrc>, c: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::IMad {
+            d: d.0,
+            a: a.0,
+            b: b.into(),
+            c: c.0,
+        });
+        d
+    }
+
+    /// Unsigned min.
+    pub fn umin(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::MinU, a, b.into())
+    }
+
+    /// Unsigned max.
+    pub fn umax(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::MaxU, a, b.into())
+    }
+
+    /// Signed min.
+    pub fn imin(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::MinS, a, b.into())
+    }
+
+    /// Signed max.
+    pub fn imax(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::MaxS, a, b.into())
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::And, a, b.into())
+    }
+
+    /// Bitwise or.
+    pub fn or(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::Or, a, b.into())
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::Xor, a, b.into())
+    }
+
+    /// Shift left.
+    pub fn shl(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::Shl, a, b.into())
+    }
+
+    /// Logical shift right.
+    pub fn shr(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::ShrU, a, b.into())
+    }
+
+    /// Arithmetic shift right.
+    pub fn sar(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::ShrS, a, b.into())
+    }
+
+    /// Unsigned high 32 bits of `a * b`.
+    pub fn umulhi(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.ibin(IBinOp::MulHiU, a, b.into())
+    }
+
+    /// Population count.
+    pub fn popc(&mut self, a: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::IUn {
+            op: IUnOp::Popc,
+            d: d.0,
+            a: a.0,
+        });
+        d
+    }
+
+    /// Bit index of the most-significant set bit (`0xffffffff` when the
+    /// input is zero).
+    pub fn flo(&mut self, a: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::IUn {
+            op: IUnOp::Flo,
+            d: d.0,
+            a: a.0,
+        });
+        d
+    }
+
+    /// Bit reverse.
+    pub fn brev(&mut self, a: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::IUn {
+            op: IUnOp::Brev,
+            d: d.0,
+            a: a.0,
+        });
+        d
+    }
+
+    /// CUDA `__ffs`: 1-based index of the least-significant set bit, 0
+    /// if none (implemented as `BREV` + `FLO` + fixup, as the hardware
+    /// does).
+    pub fn ffs(&mut self, a: V32) -> V32 {
+        let rev = self.brev(a);
+        let hi = self.flo(rev);
+        // hi == 0xffffffff when a == 0; 1-based index otherwise: 32 - hi.
+        let p = self.setp_u32_eq(hi, 0xffff_ffffu32);
+        let raw = self.isub_from(32u32, hi);
+        let zero = self.iconst(0);
+        self.sel(p, zero, raw)
+    }
+
+    /// `imm - a`.
+    pub fn isub_from(&mut self, imm: u32, a: V32) -> V32 {
+        // (imm - a) = imm + (~a + 1); express as IADD with negated source
+        // via IR: d = a * -1 + imm  (IMAD with immediate -1)
+        let m1 = self.iconst(u32::MAX);
+        let imm = self.iconst(imm);
+        self.imad(a, VSrc::from(m1), imm)
+    }
+
+    /// `p ? a : b`.
+    pub fn sel(&mut self, p: VP, a: V32, b: impl Into<VSrc>) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Sel {
+            d: d.0,
+            a: a.0,
+            b: b.into(),
+            p: p.0,
+            neg_p: false,
+        });
+        d
+    }
+
+    /// Copies `src` into the mutable variable `dst` (both are plain
+    /// virtual registers; this is how loop-carried values are updated).
+    pub fn assign(&mut self, dst: V32, src: V32) {
+        self.push(KOp::Mov32 {
+            d: dst.0,
+            a: VSrc::Reg(src.0),
+        });
+    }
+
+    /// Copies an immediate into `dst`.
+    pub fn assign_imm(&mut self, dst: V32, v: u32) {
+        self.push(KOp::Mov32 {
+            d: dst.0,
+            a: VSrc::Imm(v),
+        });
+    }
+
+    /// Copies `src` into the 64-bit variable `dst`.
+    pub fn assign64(&mut self, dst: V64, src: V64) {
+        self.push(KOp::Mov64 { d: dst.0, a: src.0 });
+    }
+
+    /// A fresh mutable 32-bit variable initialized to `v`.
+    pub fn var_u32(&mut self, v: impl Into<VSrc>) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Mov32 {
+            d: d.0,
+            a: v.into(),
+        });
+        d
+    }
+
+    /// A fresh mutable 64-bit variable initialized to `v`.
+    pub fn var_u64(&mut self, v: V64) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Mov64 { d: d.0, a: v.0 });
+        d
+    }
+
+    // ---- 64-bit ops ---------------------------------------------------------
+
+    /// `a + b` (64-bit).
+    pub fn add64(&mut self, a: V64, b: V64) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Add64 {
+            d: d.0,
+            a: a.0,
+            b: b.0,
+        });
+        d
+    }
+
+    /// `base + (idx << shift)` — address computation with a 32-bit
+    /// zero-extended index.
+    pub fn lea(&mut self, base: V64, idx: V32, shift: u8) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Lea64 {
+            d: d.0,
+            a: base.0,
+            b: idx.0,
+            shift,
+        });
+        d
+    }
+
+    /// Zero-extends a 32-bit value to 64 bits.
+    pub fn widen(&mut self, a: V32) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Widen {
+            d: d.0,
+            a: a.0,
+            signed: false,
+        });
+        d
+    }
+
+    /// Sign-extends a 32-bit value to 64 bits.
+    pub fn widen_signed(&mut self, a: V32) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Widen {
+            d: d.0,
+            a: a.0,
+            signed: true,
+        });
+        d
+    }
+
+    /// Low 32 bits of a 64-bit value.
+    pub fn lo32(&mut self, a: V64) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Lo32 { d: d.0, a: a.0 });
+        d
+    }
+
+    /// High 32 bits of a 64-bit value.
+    pub fn hi32(&mut self, a: V64) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Hi32 { d: d.0, a: a.0 });
+        d
+    }
+
+    /// Packs two 32-bit halves into a 64-bit value.
+    pub fn pack64(&mut self, lo: V32, hi: V32) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Pack64 {
+            d: d.0,
+            lo: lo.0,
+            hi: hi.0,
+        });
+        d
+    }
+
+    // ---- float ops ------------------------------------------------------------
+
+    fn fbin(&mut self, op: FBinOp, a: V32, b: VSrc) -> V32 {
+        let d = self.new32();
+        self.push(KOp::FBin {
+            op,
+            d: d.0,
+            a: a.0,
+            b,
+        });
+        d
+    }
+
+    /// Float add.
+    pub fn fadd(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.fbin(FBinOp::Add, a, b.into())
+    }
+
+    /// Float subtract.
+    pub fn fsub(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.fbin(FBinOp::Sub, a, b.into())
+    }
+
+    /// Float multiply.
+    pub fn fmul(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.fbin(FBinOp::Mul, a, b.into())
+    }
+
+    /// Float min.
+    pub fn fmin(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.fbin(FBinOp::Min, a, b.into())
+    }
+
+    /// Float max.
+    pub fn fmax(&mut self, a: V32, b: impl Into<VSrc>) -> V32 {
+        self.fbin(FBinOp::Max, a, b.into())
+    }
+
+    /// Fused `a * b + c`.
+    pub fn ffma(&mut self, a: V32, b: impl Into<VSrc>, c: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::FFma {
+            d: d.0,
+            a: a.0,
+            b: b.into(),
+            c: c.0,
+        });
+        d
+    }
+
+    /// `a / b` via SFU reciprocal (`MUFU.RCP` + multiply).
+    pub fn fdiv(&mut self, a: V32, b: V32) -> V32 {
+        let r = self.mufu(MufuFunc::Rcp, b);
+        self.fmul(a, r)
+    }
+
+    /// Special-function-unit operation.
+    pub fn mufu(&mut self, func: MufuFunc, a: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Mufu {
+            d: d.0,
+            func,
+            a: a.0,
+        });
+        d
+    }
+
+    /// Float square root.
+    pub fn fsqrt(&mut self, a: V32) -> V32 {
+        self.mufu(MufuFunc::Sqrt, a)
+    }
+
+    /// Signed int to float.
+    pub fn i2f(&mut self, a: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::I2F {
+            d: d.0,
+            a: a.0,
+            signed: true,
+        });
+        d
+    }
+
+    /// Float to signed int (truncating).
+    pub fn f2i(&mut self, a: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::F2I {
+            d: d.0,
+            a: a.0,
+            signed: true,
+        });
+        d
+    }
+
+    // ---- predicates ----------------------------------------------------------
+
+    fn isetp(&mut self, cmp: CmpOp, signed: bool, a: V32, b: VSrc) -> VP {
+        let p = self.newp();
+        self.push(KOp::ISetP {
+            p: p.0,
+            cmp,
+            signed,
+            a: a.0,
+            b,
+        });
+        p
+    }
+
+    /// Unsigned `a < b`.
+    pub fn setp_u32_lt(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Lt, false, a, b.into())
+    }
+
+    /// Unsigned `a >= b`.
+    pub fn setp_u32_ge(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Ge, false, a, b.into())
+    }
+
+    /// Unsigned `a > b`.
+    pub fn setp_u32_gt(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Gt, false, a, b.into())
+    }
+
+    /// Unsigned `a <= b`.
+    pub fn setp_u32_le(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Le, false, a, b.into())
+    }
+
+    /// `a == b`.
+    pub fn setp_u32_eq(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Eq, false, a, b.into())
+    }
+
+    /// `a != b`.
+    pub fn setp_u32_ne(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Ne, false, a, b.into())
+    }
+
+    /// Signed `a < b`.
+    pub fn setp_s32_lt(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Lt, true, a, b.into())
+    }
+
+    /// Signed `a > b`.
+    pub fn setp_s32_gt(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Gt, true, a, b.into())
+    }
+
+    /// Signed `a <= b`.
+    pub fn setp_s32_le(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Le, true, a, b.into())
+    }
+
+    /// Signed `a >= b`.
+    pub fn setp_s32_ge(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        self.isetp(CmpOp::Ge, true, a, b.into())
+    }
+
+    /// Float `a < b`.
+    pub fn setp_f32_lt(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        let p = self.newp();
+        self.push(KOp::FSetP {
+            p: p.0,
+            cmp: CmpOp::Lt,
+            a: a.0,
+            b: b.into(),
+        });
+        p
+    }
+
+    /// Float `a > b`.
+    pub fn setp_f32_gt(&mut self, a: V32, b: impl Into<VSrc>) -> VP {
+        let p = self.newp();
+        self.push(KOp::FSetP {
+            p: p.0,
+            cmp: CmpOp::Gt,
+            a: a.0,
+            b: b.into(),
+        });
+        p
+    }
+
+    /// Logical and of predicates.
+    pub fn and_p(&mut self, a: VP, b: VP) -> VP {
+        let p = self.newp();
+        self.push(KOp::PBin {
+            p: p.0,
+            op: LogicOp::And,
+            a: a.0,
+            b: b.0,
+            neg_a: false,
+            neg_b: false,
+        });
+        p
+    }
+
+    /// Logical or of predicates.
+    pub fn or_p(&mut self, a: VP, b: VP) -> VP {
+        let p = self.newp();
+        self.push(KOp::PBin {
+            p: p.0,
+            op: LogicOp::Or,
+            a: a.0,
+            b: b.0,
+            neg_a: false,
+            neg_b: false,
+        });
+        p
+    }
+
+    /// Logical not of a predicate.
+    pub fn not_p(&mut self, a: VP) -> VP {
+        let p = self.newp();
+        self.push(KOp::PBin {
+            p: p.0,
+            op: LogicOp::And,
+            a: a.0,
+            b: a.0,
+            neg_a: true,
+            neg_b: true,
+        });
+        p
+    }
+
+    // ---- warp-wide operations ---------------------------------------------
+
+    /// `__ballot(p)`: mask of active lanes where `p` holds.
+    pub fn ballot(&mut self, p: VP) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Vote {
+            mode: VoteMode::Ballot,
+            d: Some(d.0),
+            p_out: None,
+            src: p.0,
+            neg_src: false,
+        });
+        d
+    }
+
+    /// `__ballot(1)`: mask of active lanes.
+    pub fn active_mask(&mut self) -> V32 {
+        let t = self.pconst(true);
+        self.ballot(t)
+    }
+
+    /// `__all(p)`.
+    pub fn vote_all(&mut self, p: VP) -> VP {
+        let out = self.newp();
+        self.push(KOp::Vote {
+            mode: VoteMode::All,
+            d: None,
+            p_out: Some(out.0),
+            src: p.0,
+            neg_src: false,
+        });
+        out
+    }
+
+    /// `__any(p)`.
+    pub fn vote_any(&mut self, p: VP) -> VP {
+        let out = self.newp();
+        self.push(KOp::Vote {
+            mode: VoteMode::Any,
+            d: None,
+            p_out: Some(out.0),
+            src: p.0,
+            neg_src: false,
+        });
+        out
+    }
+
+    /// `__shfl(a, lane)`: value of `a` on the given source lane.
+    pub fn shfl_idx(&mut self, a: V32, lane: impl Into<VSrc>) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Shfl {
+            mode: ShflMode::Idx,
+            d: d.0,
+            a: a.0,
+            b: lane.into(),
+            c_imm: 0x1f,
+            p_out: None,
+        });
+        d
+    }
+
+    /// `__shfl_down(a, delta)`.
+    pub fn shfl_down(&mut self, a: V32, delta: impl Into<VSrc>) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Shfl {
+            mode: ShflMode::Down,
+            d: d.0,
+            a: a.0,
+            b: delta.into(),
+            c_imm: 0x1f,
+            p_out: None,
+        });
+        d
+    }
+
+    /// `__shfl_xor(a, mask)`.
+    pub fn shfl_xor(&mut self, a: V32, mask: impl Into<VSrc>) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Shfl {
+            mode: ShflMode::Bfly,
+            d: d.0,
+            a: a.0,
+            b: mask.into(),
+            c_imm: 0x1f,
+            p_out: None,
+        });
+        d
+    }
+
+    // ---- memory ---------------------------------------------------------------
+
+    /// Reserves `bytes` of the per-thread stack frame (8-byte aligned).
+    pub fn frame_alloc(&mut self, bytes: u32) -> FrameSlot {
+        let offset = self.f.frame_bytes as i32;
+        self.f.frame_bytes += (bytes + 7) & !7;
+        FrameSlot { offset, bytes }
+    }
+
+    /// Reserves `bytes` of block shared memory (8-byte aligned).
+    pub fn shared_alloc(&mut self, bytes: u32) -> SharedSlot {
+        let offset = self.f.shared_bytes;
+        self.f.shared_bytes += (bytes + 7) & !7;
+        SharedSlot { offset, bytes }
+    }
+
+    fn ld(&mut self, width: MemWidth, space: AddrSpace, addr: KAddr) -> V32 {
+        let d = if width.regs() == 2 {
+            V32(self.new_vreg(VClass::B64))
+        } else {
+            self.new32()
+        };
+        self.push(KOp::Ld {
+            d: d.0,
+            width,
+            space,
+            addr,
+        });
+        d
+    }
+
+    /// Global 32-bit load.
+    pub fn ld_global_u32(&mut self, addr: V64) -> V32 {
+        self.ld(
+            MemWidth::B32,
+            AddrSpace::Global,
+            KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+        )
+    }
+
+    /// Global 32-bit load at `addr + offset`.
+    pub fn ld_global_u32_off(&mut self, addr: V64, offset: i32) -> V32 {
+        self.ld(
+            MemWidth::B32,
+            AddrSpace::Global,
+            KAddr::Reg {
+                base: addr.0,
+                offset,
+            },
+        )
+    }
+
+    /// Global byte load (zero-extended).
+    pub fn ld_global_u8(&mut self, addr: V64) -> V32 {
+        self.ld(
+            MemWidth::U8,
+            AddrSpace::Global,
+            KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+        )
+    }
+
+    /// Global float load (same bits as `ld_global_u32`).
+    pub fn ld_global_f32(&mut self, addr: V64) -> V32 {
+        self.ld_global_u32(addr)
+    }
+
+    /// Global 64-bit load into a 64-bit value.
+    pub fn ld_global_u64(&mut self, addr: V64) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Ld {
+            d: d.0,
+            width: MemWidth::B64,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+        });
+        d
+    }
+
+    /// Texture-path 32-bit load (classified `IsTexture` by SASSI).
+    pub fn ld_texture_u32(&mut self, addr: V64) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Tld {
+            d: d.0,
+            width: MemWidth::B32,
+            base: addr.0,
+            offset: 0,
+        });
+        d
+    }
+
+    /// Global 32-bit store.
+    pub fn st_global_u32(&mut self, addr: V64, v: V32) {
+        self.push(KOp::St {
+            v: v.0,
+            width: MemWidth::B32,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+        });
+    }
+
+    /// Global 32-bit store at `addr + offset`.
+    pub fn st_global_u32_off(&mut self, addr: V64, offset: i32, v: V32) {
+        self.push(KOp::St {
+            v: v.0,
+            width: MemWidth::B32,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset,
+            },
+        });
+    }
+
+    /// Global byte store.
+    pub fn st_global_u8(&mut self, addr: V64, v: V32) {
+        self.push(KOp::St {
+            v: v.0,
+            width: MemWidth::U8,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+        });
+    }
+
+    /// Shared 32-bit load; `addr` is a byte offset into shared memory.
+    pub fn ld_shared_u32(&mut self, addr: V32, offset: i32) -> V32 {
+        self.ld(
+            MemWidth::B32,
+            AddrSpace::Shared,
+            KAddr::Reg {
+                base: addr.0,
+                offset,
+            },
+        )
+    }
+
+    /// Shared 32-bit store.
+    pub fn st_shared_u32(&mut self, addr: V32, offset: i32, v: V32) {
+        self.push(KOp::St {
+            v: v.0,
+            width: MemWidth::B32,
+            space: AddrSpace::Shared,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset,
+            },
+        });
+    }
+
+    /// Stack-frame 32-bit load.
+    pub fn ld_frame_u32(&mut self, slot: FrameSlot, offset: i32) -> V32 {
+        self.ld(
+            MemWidth::B32,
+            AddrSpace::Local,
+            KAddr::Frame {
+                offset: slot.offset + offset,
+            },
+        )
+    }
+
+    /// Stack-frame 32-bit store.
+    pub fn st_frame_u32(&mut self, slot: FrameSlot, offset: i32, v: V32) {
+        self.push(KOp::St {
+            v: v.0,
+            width: MemWidth::B32,
+            space: AddrSpace::Local,
+            addr: KAddr::Frame {
+                offset: slot.offset + offset,
+            },
+        });
+    }
+
+    /// Stack-frame 32-bit load at a dynamic byte offset.
+    pub fn ld_frame_u32_dyn(&mut self, byte_off: V32) -> V32 {
+        self.ld(
+            MemWidth::B32,
+            AddrSpace::Local,
+            KAddr::Reg {
+                base: byte_off.0,
+                offset: 0,
+            },
+        )
+    }
+
+    /// Stack-frame 32-bit store at a dynamic byte offset.
+    pub fn st_frame_u32_dyn(&mut self, byte_off: V32, v: V32) {
+        self.push(KOp::St {
+            v: v.0,
+            width: MemWidth::B32,
+            space: AddrSpace::Local,
+            addr: KAddr::Reg {
+                base: byte_off.0,
+                offset: 0,
+            },
+        });
+    }
+
+    /// Generic 64-bit pointer to a stack-frame slot (for passing
+    /// stack-allocated objects by reference).
+    pub fn frame_addr_generic(&mut self, slot: FrameSlot, offset: i32) -> V64 {
+        let d = self.new64();
+        self.push(KOp::FrameAddrGeneric {
+            d: d.0,
+            offset: slot.offset + offset,
+        });
+        d
+    }
+
+    /// Generic-space 32-bit load through a 64-bit pointer.
+    pub fn ld_generic_u32(&mut self, addr: V64, offset: i32) -> V32 {
+        self.ld(
+            MemWidth::B32,
+            AddrSpace::Generic,
+            KAddr::Reg {
+                base: addr.0,
+                offset,
+            },
+        )
+    }
+
+    /// Generic-space 32-bit store through a 64-bit pointer.
+    pub fn st_generic_u32(&mut self, addr: V64, offset: i32, v: V32) {
+        self.push(KOp::St {
+            v: v.0,
+            width: MemWidth::B32,
+            space: AddrSpace::Generic,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset,
+            },
+        });
+    }
+
+    /// Generic-space 64-bit load through a 64-bit pointer.
+    pub fn ld_generic_u64(&mut self, addr: V64, offset: i32) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Ld {
+            d: d.0,
+            width: MemWidth::B64,
+            space: AddrSpace::Generic,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset,
+            },
+        });
+        d
+    }
+
+    /// Global `atomicAdd(addr, v)` returning the old value.
+    pub fn atom_add_global(&mut self, addr: V64, v: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Atom {
+            d: Some(d.0),
+            op: AtomOp::Add,
+            wide: false,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+            v: v.0,
+            v2: None,
+        });
+        d
+    }
+
+    /// Global `atomicAdd` on a 64-bit counter.
+    pub fn atom_add_global_u64(&mut self, addr: V64, v: V64) -> V64 {
+        let d = self.new64();
+        self.push(KOp::Atom {
+            d: Some(d.0),
+            op: AtomOp::Add,
+            wide: true,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+            v: v.0,
+            v2: None,
+        });
+        d
+    }
+
+    /// Global fire-and-forget reduction (`RED`): no return value.
+    pub fn red_global(&mut self, op: AtomOp, addr: V64, v: V32) {
+        self.push(KOp::Atom {
+            d: None,
+            op,
+            wide: false,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+            v: v.0,
+            v2: None,
+        });
+    }
+
+    /// Shared-memory `atomicAdd`.
+    pub fn atom_add_shared(&mut self, addr: V32, offset: i32, v: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Atom {
+            d: Some(d.0),
+            op: AtomOp::Add,
+            wide: false,
+            space: AddrSpace::Shared,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset,
+            },
+            v: v.0,
+            v2: None,
+        });
+        d
+    }
+
+    /// Global compare-and-swap: returns the old value.
+    pub fn atom_cas_global(&mut self, addr: V64, cmp: V32, new: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Atom {
+            d: Some(d.0),
+            op: AtomOp::Cas,
+            wide: false,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+            v: cmp.0,
+            v2: Some(new.0),
+        });
+        d
+    }
+
+    /// Global atomic min (unsigned).
+    pub fn atom_min_global(&mut self, addr: V64, v: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Atom {
+            d: Some(d.0),
+            op: AtomOp::Min,
+            wide: false,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+            v: v.0,
+            v2: None,
+        });
+        d
+    }
+
+    /// Global atomic exchange.
+    pub fn atom_exch_global(&mut self, addr: V64, v: V32) -> V32 {
+        let d = self.new32();
+        self.push(KOp::Atom {
+            d: Some(d.0),
+            op: AtomOp::Exch,
+            wide: false,
+            space: AddrSpace::Global,
+            addr: KAddr::Reg {
+                base: addr.0,
+                offset: 0,
+            },
+            v: v.0,
+            v2: None,
+        });
+        d
+    }
+
+    // ---- barriers -----------------------------------------------------------
+
+    /// Block-wide barrier (`__syncthreads`).
+    pub fn bar_sync(&mut self) {
+        self.push(KOp::Bar);
+    }
+
+    /// Device memory fence.
+    pub fn membar(&mut self) {
+        self.push(KOp::MemBar);
+    }
+
+    // ---- structured control flow ----------------------------------------------
+
+    /// `if (p) { then }` with SIMT reconvergence.
+    pub fn if_(&mut self, p: VP, then: impl FnOnce(&mut KernelBuilder)) {
+        let end = self.new_label();
+        self.push(KOp::Ssy { t: end });
+        self.push_guarded(p, true, KOp::Sync { reconv: end });
+        then(self);
+        self.push(KOp::Sync { reconv: end });
+        self.place_label(end);
+    }
+
+    /// `if (p) { then } else { els }` with SIMT reconvergence.
+    pub fn if_else(
+        &mut self,
+        p: VP,
+        then: impl FnOnce(&mut KernelBuilder),
+        els: impl FnOnce(&mut KernelBuilder),
+    ) {
+        let end = self.new_label();
+        let else_l = self.new_label();
+        self.push(KOp::Ssy { t: end });
+        self.push_guarded(p, true, KOp::Bra { t: else_l });
+        then(self);
+        self.push(KOp::Sync { reconv: end });
+        self.place_label(else_l);
+        els(self);
+        self.push(KOp::Sync { reconv: end });
+        self.place_label(end);
+    }
+
+    /// `while (cond) { body }`. The condition closure runs at the loop
+    /// head each iteration; lanes whose condition fails park at the loop
+    /// exit until all lanes leave.
+    pub fn while_(
+        &mut self,
+        cond: impl FnOnce(&mut KernelBuilder) -> VP,
+        body: impl FnOnce(&mut KernelBuilder),
+    ) {
+        let head = self.new_label();
+        let end = self.new_label();
+        self.push(KOp::Ssy { t: end });
+        self.place_label(head);
+        let p = cond(self);
+        self.push_guarded(p, true, KOp::Sync { reconv: end });
+        self.loops.push(LoopCtx { head, end });
+        body(self);
+        self.loops.pop();
+        self.push(KOp::Bra { t: head });
+        self.place_label(end);
+    }
+
+    /// `for (i = start; i < end; i += step) { body(i) }` over a mutable
+    /// loop variable (unsigned compare).
+    pub fn for_range(
+        &mut self,
+        start: impl Into<VSrc>,
+        end: V32,
+        step: u32,
+        body: impl FnOnce(&mut KernelBuilder, V32),
+    ) {
+        let i = self.var_u32(start);
+        self.while_(
+            |b| b.setp_u32_lt(i, end),
+            |b| {
+                body(b, i);
+                let next = b.iadd(i, step);
+                b.assign(i, next);
+            },
+        );
+    }
+
+    /// Leaves the innermost loop for lanes where `p` holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside a loop, or from inside an `if_`/`if_else`
+    /// nested in the loop body (the structured SSY discipline requires
+    /// breaks to be direct children of the loop body; hoist the condition
+    /// into a predicate instead).
+    pub fn break_if(&mut self, p: VP) {
+        let ctx = self.loops.last().expect("break_if outside of loop");
+        let end = ctx.end;
+        self.push_guarded(p, false, KOp::Sync { reconv: end });
+    }
+
+    /// Restarts the innermost loop for lanes where `p` holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside a loop.
+    pub fn continue_if(&mut self, p: VP) {
+        let ctx = self.loops.last().expect("continue_if outside of loop");
+        let head = ctx.head;
+        self.push_guarded(p, false, KOp::Bra { t: head });
+    }
+
+    /// Terminates lanes where `p` holds.
+    pub fn exit_if(&mut self, p: VP) {
+        self.push_guarded(p, false, KOp::Exit);
+    }
+
+    /// Terminates all active lanes.
+    pub fn exit(&mut self) {
+        self.push(KOp::Exit);
+    }
+
+    /// Returns from an ABI function.
+    pub fn ret(&mut self) {
+        assert!(self.f.abi_function, "ret in kernel; use exit");
+        self.push(KOp::Ret);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_appends_exit() {
+        let b = KernelBuilder::kernel("k");
+        let f = b.finish();
+        assert!(matches!(f.instrs.last().unwrap().op, KOp::Exit));
+    }
+
+    #[test]
+    fn abi_finish_appends_ret() {
+        let b = KernelBuilder::abi_function("h");
+        let f = b.finish();
+        assert!(f.abi_function);
+        assert!(matches!(f.instrs.last().unwrap().op, KOp::Ret));
+    }
+
+    #[test]
+    fn if_emits_ssy_sync_label() {
+        let mut b = KernelBuilder::kernel("k");
+        let x = b.iconst(1);
+        let p = b.setp_u32_lt(x, 2u32);
+        b.if_(p, |b| {
+            let _ = b.iconst(7);
+        });
+        let f = b.finish();
+        let has_ssy = f.instrs.iter().any(|i| matches!(i.op, KOp::Ssy { .. }));
+        let syncs = f
+            .instrs
+            .iter()
+            .filter(|i| matches!(i.op, KOp::Sync { .. }))
+            .count();
+        assert!(has_ssy);
+        assert_eq!(syncs, 2, "guarded skip sync + reconverge sync");
+    }
+
+    #[test]
+    fn while_shape() {
+        let mut b = KernelBuilder::kernel("k");
+        let n = b.iconst(10);
+        b.for_range(0u32, n, 1, |b, i| {
+            let _ = b.iadd(i, 1u32);
+        });
+        let f = b.finish();
+        let bras = f
+            .instrs
+            .iter()
+            .filter(|i| matches!(i.op, KOp::Bra { .. }))
+            .count();
+        assert_eq!(bras, 1, "single back edge");
+        let labels = f
+            .instrs
+            .iter()
+            .filter(|i| matches!(i.op, KOp::Label { .. }))
+            .count();
+        assert_eq!(labels, 2, "head and end labels");
+    }
+
+    #[test]
+    #[should_panic(expected = "break_if outside of loop")]
+    fn break_outside_loop_panics() {
+        let mut b = KernelBuilder::kernel("k");
+        let p = b.pconst(true);
+        b.break_if(p);
+    }
+
+    #[test]
+    fn frame_alloc_aligns() {
+        let mut b = KernelBuilder::kernel("k");
+        let s1 = b.frame_alloc(5);
+        let s2 = b.frame_alloc(8);
+        assert_eq!(s1.offset, 0);
+        assert_eq!(s2.offset, 8);
+        assert_eq!(b.finish().frame_bytes, 16);
+    }
+
+    #[test]
+    fn param_slots_are_8_bytes() {
+        let mut b = KernelBuilder::kernel("k");
+        let _ = b.param_u32(0);
+        let _ = b.param_ptr(1);
+        let f = b.finish();
+        match (&f.instrs[0].op, &f.instrs[1].op) {
+            (KOp::LdConst32 { addr: a0, .. }, KOp::LdConst64 { addr: a1, .. }) => {
+                assert_eq!(a0.offset, cbank0::PARAM_BASE);
+                assert_eq!(a1.offset, cbank0::PARAM_BASE + 8);
+            }
+            other => panic!("unexpected shapes: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_load_allocates_b64_class() {
+        let mut b = KernelBuilder::kernel("k");
+        let p = b.param_ptr(0);
+        let v = b.ld_global_u64(p);
+        let f = b.finish();
+        assert_eq!(f.classes[v.vreg().index() as usize], VClass::B64);
+    }
+}

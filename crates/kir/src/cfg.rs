@@ -1,0 +1,210 @@
+//! Control-flow graph over kernel IR, and label resolution.
+
+use crate::builder::KFunction;
+use crate::kop::KOp;
+use crate::vreg::LabelId;
+use std::collections::HashMap;
+
+/// A basic block: a half-open range of instruction indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+}
+
+/// Control-flow graph of a [`KFunction`].
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Basic blocks in layout order.
+    pub blocks: Vec<Block>,
+    /// Successor block indices, per block.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor block indices, per block.
+    pub preds: Vec<Vec<usize>>,
+    /// Instruction index of each label.
+    pub label_pos: HashMap<LabelId, usize>,
+    /// Block index containing each instruction.
+    pub block_of: Vec<usize>,
+}
+
+/// Control-flow effect of an instruction, used to place block
+/// boundaries and edges.
+fn targets(op: &KOp) -> Option<LabelId> {
+    match op {
+        KOp::Bra { t } => Some(*t),
+        KOp::Sync { reconv } => Some(*reconv),
+        _ => None,
+    }
+}
+
+fn is_control(op: &KOp) -> bool {
+    matches!(
+        op,
+        KOp::Bra { .. } | KOp::Sync { .. } | KOp::Exit | KOp::Ret
+    )
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    ///
+    /// Edges: a `BRA` goes to its target (plus fallthrough when
+    /// guarded); a `SYNC` transfers parked lanes to its reconvergence
+    /// label (plus fallthrough when guarded — lanes whose guard is
+    /// false continue); `EXIT`/`RET` end the thread (fallthrough only
+    /// when guarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label is never placed.
+    pub fn build(f: &KFunction) -> Cfg {
+        let n = f.instrs.len();
+        let mut label_pos = HashMap::new();
+        for (i, ins) in f.instrs.iter().enumerate() {
+            if let KOp::Label { id } = ins.op {
+                label_pos.insert(id, i);
+            }
+        }
+
+        // Leaders: entry, label positions, instruction after control ops.
+        let mut leader = vec![false; n.max(1)];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, ins) in f.instrs.iter().enumerate() {
+            if let KOp::Label { .. } = ins.op {
+                leader[i] = true;
+            }
+            if is_control(&ins.op) && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for i in 1..n {
+            if leader[i] {
+                blocks.push(Block { start, end: i });
+                start = i;
+            }
+        }
+        if n > 0 {
+            blocks.push(Block { start, end: n });
+        }
+        for (bi, b) in blocks.iter().enumerate() {
+            for i in b.start..b.end {
+                block_of[i] = bi;
+            }
+        }
+
+        let mut succs = vec![Vec::new(); blocks.len()];
+        for (bi, b) in blocks.iter().enumerate() {
+            if b.end == b.start {
+                continue;
+            }
+            let last = &f.instrs[b.end - 1];
+            let guarded = last.guard.is_some();
+            let mut out: Vec<usize> = Vec::new();
+            if let Some(t) = targets(&last.op) {
+                let pos = *label_pos
+                    .get(&t)
+                    .unwrap_or_else(|| panic!("label {t} referenced but never placed"));
+                out.push(block_of[pos]);
+            }
+            let falls = match &last.op {
+                KOp::Bra { .. } | KOp::Sync { .. } | KOp::Exit => guarded,
+                KOp::Ret => false,
+                _ => true, // block ended by a following leader (label)
+            };
+            if falls && b.end < n {
+                out.push(block_of[b.end]);
+            }
+            out.dedup();
+            succs[bi] = out;
+        }
+
+        let mut preds = vec![Vec::new(); blocks.len()];
+        for (bi, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(bi);
+            }
+        }
+
+        Cfg {
+            blocks,
+            succs,
+            preds,
+            label_pos,
+            block_of,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    #[test]
+    fn straight_line_single_block() {
+        let mut b = KernelBuilder::kernel("k");
+        let x = b.iconst(1);
+        let _ = b.iadd(x, 2u32);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.succs[0].is_empty(), "exit block has no successors");
+    }
+
+    #[test]
+    fn if_produces_diamond_ish_graph() {
+        let mut b = KernelBuilder::kernel("k");
+        let x = b.iconst(1);
+        let p = b.setp_u32_lt(x, 2u32);
+        b.if_(p, |b| {
+            let _ = b.iconst(3);
+        });
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        // ssy+guarded-sync | body+sync | end(label)+exit
+        assert!(cfg.len() >= 3);
+        // Entry block ends with a guarded sync: both target and fallthrough.
+        assert_eq!(cfg.succs[0].len(), 2);
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let mut b = KernelBuilder::kernel("k");
+        let n = b.iconst(4);
+        b.for_range(0u32, n, 1, |b, i| {
+            let _ = b.iadd(i, 1u32);
+        });
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let has_back_edge = cfg
+            .succs
+            .iter()
+            .enumerate()
+            .any(|(bi, ss)| ss.iter().any(|&s| s <= bi));
+        assert!(has_back_edge);
+        // Every block except terminal ones has at least one successor.
+        for (bi, ss) in cfg.succs.iter().enumerate() {
+            let last = &f.instrs[cfg.blocks[bi].end - 1];
+            if !matches!(last.op, KOp::Exit | KOp::Ret) {
+                assert!(!ss.is_empty(), "non-exit block {bi} has no successors");
+            }
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! The kernel-IR instruction set: virtual-register operations close to
+//! SASS (each lowers to 1–3 machine instructions), plus control-flow
+//! pseudo-ops with symbolic labels and reconvergence annotations.
+
+use crate::vreg::{LabelId, VReg, VSrc};
+use sassi_isa::{
+    AddrSpace, AtomOp, CBankAddr, CmpOp, LogicOp, MemWidth, MufuFunc, ShflMode, SpecialReg,
+    VoteMode,
+};
+use serde::{Deserialize, Serialize};
+
+/// 32-bit integer binary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum IBinOp {
+    Add,
+    Sub,
+    Mul,
+    MulHiU,
+    MinS,
+    MinU,
+    MaxS,
+    MaxU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrU,
+    ShrS,
+}
+
+/// 32-bit float binary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum FBinOp {
+    Add,
+    Sub,
+    Mul,
+    Min,
+    Max,
+}
+
+/// 32-bit integer unary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum IUnOp {
+    Popc,
+    Flo,
+    Brev,
+}
+
+/// A memory address in the IR.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum KAddr {
+    /// Stack-frame slot: `[SP + offset]` in local space.
+    Frame {
+        /// Byte offset from the frame base.
+        offset: i32,
+    },
+    /// Register-based: `[base + offset]`. The base register class must
+    /// be `B64` for global/generic spaces and `B32` for shared.
+    Reg {
+        /// Base register.
+        base: VReg,
+        /// Byte offset.
+        offset: i32,
+    },
+}
+
+/// A guard on an IR instruction: execute only where the predicate
+/// (possibly negated) holds.
+pub type KGuard = Option<(VReg, bool)>;
+
+/// One IR instruction.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct KInstr {
+    /// Optional guard predicate.
+    pub guard: KGuard,
+    /// The operation.
+    pub op: KOp,
+}
+
+impl KInstr {
+    /// Unguarded instruction.
+    pub fn new(op: KOp) -> KInstr {
+        KInstr { guard: None, op }
+    }
+}
+
+/// A kernel-IR operation.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)] // d = dest, a/b/c = sources throughout
+pub enum KOp {
+    // -- constants and moves ------------------------------------------------
+    Imm32 {
+        d: VReg,
+        v: u32,
+    },
+    Imm64 {
+        d: VReg,
+        v: u64,
+    },
+    Mov32 {
+        d: VReg,
+        a: VSrc,
+    },
+    Mov64 {
+        d: VReg,
+        a: VReg,
+    },
+    Special {
+        d: VReg,
+        sr: SpecialReg,
+    },
+    LdConst32 {
+        d: VReg,
+        addr: CBankAddr,
+    },
+    LdConst64 {
+        d: VReg,
+        addr: CBankAddr,
+    },
+    /// Reads ABI parameter register pair `idx` (0 → R4:R5, 1 → R6:R7).
+    /// Only valid at the start of ABI functions (handlers).
+    AbiParam64 {
+        d: VReg,
+        idx: u8,
+    },
+
+    // -- 32-bit integer ------------------------------------------------------
+    IBin {
+        op: IBinOp,
+        d: VReg,
+        a: VReg,
+        b: VSrc,
+    },
+    IMad {
+        d: VReg,
+        a: VReg,
+        b: VSrc,
+        c: VReg,
+    },
+    IUn {
+        op: IUnOp,
+        d: VReg,
+        a: VReg,
+    },
+    Sel {
+        d: VReg,
+        a: VReg,
+        b: VSrc,
+        p: VReg,
+        neg_p: bool,
+    },
+
+    // -- 64-bit integer ------------------------------------------------------
+    Add64 {
+        d: VReg,
+        a: VReg,
+        b: VReg,
+    },
+    /// `d = a + (b << shift)` where `a` is 64-bit and `b` 32-bit
+    /// zero-extended: the addressing workhorse.
+    Lea64 {
+        d: VReg,
+        a: VReg,
+        b: VReg,
+        shift: u8,
+    },
+    Widen {
+        d: VReg,
+        a: VReg,
+        signed: bool,
+    },
+    Pack64 {
+        d: VReg,
+        lo: VReg,
+        hi: VReg,
+    },
+    Lo32 {
+        d: VReg,
+        a: VReg,
+    },
+    Hi32 {
+        d: VReg,
+        a: VReg,
+    },
+
+    // -- float ---------------------------------------------------------------
+    FBin {
+        op: FBinOp,
+        d: VReg,
+        a: VReg,
+        b: VSrc,
+    },
+    FFma {
+        d: VReg,
+        a: VReg,
+        b: VSrc,
+        c: VReg,
+    },
+    Mufu {
+        d: VReg,
+        func: MufuFunc,
+        a: VReg,
+    },
+    I2F {
+        d: VReg,
+        a: VReg,
+        signed: bool,
+    },
+    F2I {
+        d: VReg,
+        a: VReg,
+        signed: bool,
+    },
+
+    // -- predicates ----------------------------------------------------------
+    ISetP {
+        p: VReg,
+        cmp: CmpOp,
+        signed: bool,
+        a: VReg,
+        b: VSrc,
+    },
+    FSetP {
+        p: VReg,
+        cmp: CmpOp,
+        a: VReg,
+        b: VSrc,
+    },
+    PBin {
+        p: VReg,
+        op: LogicOp,
+        a: VReg,
+        b: VReg,
+        neg_a: bool,
+        neg_b: bool,
+    },
+    PImm {
+        p: VReg,
+        v: bool,
+    },
+
+    // -- memory --------------------------------------------------------------
+    Ld {
+        d: VReg,
+        width: MemWidth,
+        space: AddrSpace,
+        addr: KAddr,
+    },
+    St {
+        v: VReg,
+        width: MemWidth,
+        space: AddrSpace,
+        addr: KAddr,
+    },
+    Tld {
+        d: VReg,
+        width: MemWidth,
+        base: VReg,
+        offset: i32,
+    },
+    Atom {
+        d: Option<VReg>,
+        op: AtomOp,
+        wide: bool,
+        space: AddrSpace,
+        addr: KAddr,
+        v: VReg,
+        v2: Option<VReg>,
+    },
+    /// Generic 64-bit address of a stack-frame slot (`(SP+off) | LOCAL_TAG`).
+    FrameAddrGeneric {
+        d: VReg,
+        offset: i32,
+    },
+    MemBar,
+
+    // -- warp-wide -----------------------------------------------------------
+    Vote {
+        mode: VoteMode,
+        d: Option<VReg>,
+        p_out: Option<VReg>,
+        src: VReg,
+        neg_src: bool,
+    },
+    Shfl {
+        mode: ShflMode,
+        d: VReg,
+        a: VReg,
+        b: VSrc,
+        c_imm: u32,
+        p_out: Option<VReg>,
+    },
+    Bar,
+
+    // -- control flow ---------------------------------------------------------
+    Label {
+        id: LabelId,
+    },
+    Bra {
+        t: LabelId,
+    },
+    Ssy {
+        t: LabelId,
+    },
+    Sync {
+        reconv: LabelId,
+    },
+    Exit,
+    Ret,
+    Nop,
+}
+
+/// Def/use sets of an IR instruction (virtual registers only).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KDefsUses {
+    /// Virtual registers written.
+    pub defs: Vec<VReg>,
+    /// Virtual registers read (guard included).
+    pub uses: Vec<VReg>,
+}
+
+fn use_src(u: &mut Vec<VReg>, s: &VSrc) {
+    if let VSrc::Reg(r) = s {
+        u.push(*r);
+    }
+}
+
+fn use_addr(u: &mut Vec<VReg>, a: &KAddr) {
+    if let KAddr::Reg { base, .. } = a {
+        u.push(*base);
+    }
+}
+
+impl KInstr {
+    /// Computes virtual-register defs and uses. Guarded instructions
+    /// treat their defs as also-uses (a predicated write is a partial
+    /// write), which keeps liveness conservative and correct.
+    pub fn defs_uses(&self) -> KDefsUses {
+        let mut d = Vec::new();
+        let mut u = Vec::new();
+        match &self.op {
+            KOp::Imm32 { d: x, .. } | KOp::Imm64 { d: x, .. } => d.push(*x),
+            KOp::Mov32 { d: x, a } => {
+                d.push(*x);
+                use_src(&mut u, a);
+            }
+            KOp::Mov64 { d: x, a } => {
+                d.push(*x);
+                u.push(*a);
+            }
+            KOp::Special { d: x, .. }
+            | KOp::LdConst32 { d: x, .. }
+            | KOp::LdConst64 { d: x, .. }
+            | KOp::AbiParam64 { d: x, .. } => d.push(*x),
+            KOp::IBin { d: x, a, b, .. } => {
+                d.push(*x);
+                u.push(*a);
+                use_src(&mut u, b);
+            }
+            KOp::IMad { d: x, a, b, c } => {
+                d.push(*x);
+                u.push(*a);
+                use_src(&mut u, b);
+                u.push(*c);
+            }
+            KOp::IUn { d: x, a, .. } => {
+                d.push(*x);
+                u.push(*a);
+            }
+            KOp::Sel { d: x, a, b, p, .. } => {
+                d.push(*x);
+                u.push(*a);
+                use_src(&mut u, b);
+                u.push(*p);
+            }
+            KOp::Add64 { d: x, a, b } => {
+                d.push(*x);
+                u.push(*a);
+                u.push(*b);
+            }
+            KOp::Lea64 { d: x, a, b, .. } => {
+                d.push(*x);
+                u.push(*a);
+                u.push(*b);
+            }
+            KOp::Widen { d: x, a, .. } | KOp::Lo32 { d: x, a } | KOp::Hi32 { d: x, a } => {
+                d.push(*x);
+                u.push(*a);
+            }
+            KOp::Pack64 { d: x, lo, hi } => {
+                d.push(*x);
+                u.push(*lo);
+                u.push(*hi);
+            }
+            KOp::FBin { d: x, a, b, .. } => {
+                d.push(*x);
+                u.push(*a);
+                use_src(&mut u, b);
+            }
+            KOp::FFma { d: x, a, b, c } => {
+                d.push(*x);
+                u.push(*a);
+                use_src(&mut u, b);
+                u.push(*c);
+            }
+            KOp::Mufu { d: x, a, .. } | KOp::I2F { d: x, a, .. } | KOp::F2I { d: x, a, .. } => {
+                d.push(*x);
+                u.push(*a);
+            }
+            KOp::ISetP { p, a, b, .. } | KOp::FSetP { p, a, b, .. } => {
+                d.push(*p);
+                u.push(*a);
+                use_src(&mut u, b);
+            }
+            KOp::PBin { p, a, b, .. } => {
+                d.push(*p);
+                u.push(*a);
+                u.push(*b);
+            }
+            KOp::PImm { p, .. } => d.push(*p),
+            KOp::Ld { d: x, addr, .. } => {
+                d.push(*x);
+                use_addr(&mut u, addr);
+            }
+            KOp::St { v, addr, .. } => {
+                u.push(*v);
+                use_addr(&mut u, addr);
+            }
+            KOp::Tld { d: x, base, .. } => {
+                d.push(*x);
+                u.push(*base);
+            }
+            KOp::Atom {
+                d: x, addr, v, v2, ..
+            } => {
+                if let Some(x) = x {
+                    d.push(*x);
+                }
+                use_addr(&mut u, addr);
+                u.push(*v);
+                if let Some(v2) = v2 {
+                    u.push(*v2);
+                }
+            }
+            KOp::FrameAddrGeneric { d: x, .. } => d.push(*x),
+            KOp::Vote {
+                d: x, p_out, src, ..
+            } => {
+                if let Some(x) = x {
+                    d.push(*x);
+                }
+                if let Some(p) = p_out {
+                    d.push(*p);
+                }
+                u.push(*src);
+            }
+            KOp::Shfl {
+                d: x, a, b, p_out, ..
+            } => {
+                d.push(*x);
+                u.push(*a);
+                use_src(&mut u, b);
+                if let Some(p) = p_out {
+                    d.push(*p);
+                }
+            }
+            KOp::MemBar
+            | KOp::Bar
+            | KOp::Label { .. }
+            | KOp::Bra { .. }
+            | KOp::Ssy { .. }
+            | KOp::Sync { .. }
+            | KOp::Exit
+            | KOp::Ret
+            | KOp::Nop => {}
+        }
+        if let Some((p, _)) = &self.guard {
+            u.push(*p);
+            // A guarded def may leave the old value in place.
+            u.extend(d.iter().copied());
+        }
+        KDefsUses { defs: d, uses: u }
+    }
+
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self.op,
+            KOp::Bra { .. } | KOp::Sync { .. } | KOp::Exit | KOp::Ret
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> VReg {
+        VReg(n)
+    }
+
+    #[test]
+    fn defs_uses_basic() {
+        let i = KInstr::new(KOp::IBin {
+            op: IBinOp::Add,
+            d: v(0),
+            a: v(1),
+            b: VSrc::Reg(v(2)),
+        });
+        let du = i.defs_uses();
+        assert_eq!(du.defs, vec![v(0)]);
+        assert_eq!(du.uses, vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn guarded_def_is_also_use() {
+        let mut i = KInstr::new(KOp::Imm32 { d: v(0), v: 1 });
+        i.guard = Some((v(9), false));
+        let du = i.defs_uses();
+        assert!(du.uses.contains(&v(9)));
+        assert!(du.uses.contains(&v(0)), "guarded def must count as use");
+    }
+
+    #[test]
+    fn frame_addr_has_no_reg_uses() {
+        let i = KInstr::new(KOp::Ld {
+            d: v(0),
+            width: MemWidth::B32,
+            space: AddrSpace::Local,
+            addr: KAddr::Frame { offset: 8 },
+        });
+        assert!(i.defs_uses().uses.is_empty());
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(KInstr::new(KOp::Exit).is_terminator());
+        assert!(KInstr::new(KOp::Bra { t: LabelId(0) }).is_terminator());
+        assert!(KInstr::new(KOp::Sync { reconv: LabelId(0) }).is_terminator());
+        assert!(!KInstr::new(KOp::Nop).is_terminator());
+    }
+}

@@ -1,0 +1,285 @@
+//! Virtual-register liveness over the kernel-IR CFG, and live intervals
+//! for the linear-scan allocator.
+
+use crate::builder::KFunction;
+use crate::cfg::Cfg;
+use crate::vreg::VReg;
+
+/// A dense bitset over virtual-register ids.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VBitSet {
+    words: Vec<u64>,
+}
+
+impl VBitSet {
+    /// Empty set sized for `n` virtual registers.
+    pub fn new(n: usize) -> VBitSet {
+        VBitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts a register; returns whether it was newly inserted.
+    pub fn insert(&mut self, r: VReg) -> bool {
+        let i = r.index() as usize;
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let new = *w & bit == 0;
+        *w |= bit;
+        new
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: VReg) {
+        let i = r.index() as usize;
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: VReg) -> bool {
+        let i = r.index() as usize;
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// In-place union; returns whether anything changed.
+    pub fn union_with(&mut self, other: &VBitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1 << b) != 0 {
+                    Some(VReg((wi * 64 + b) as u32))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// Per-block liveness results.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Live-in set of each block.
+    pub live_in: Vec<VBitSet>,
+    /// Live-out set of each block.
+    pub live_out: Vec<VBitSet>,
+}
+
+/// Computes block-level liveness by backward fixpoint iteration.
+pub fn block_liveness(f: &KFunction, cfg: &Cfg) -> Liveness {
+    let nv = f.classes.len();
+    let nb = cfg.len();
+    let mut gen = vec![VBitSet::new(nv); nb]; // upward-exposed uses
+    let mut kill = vec![VBitSet::new(nv); nb]; // defs
+
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        for i in (b.start..b.end).rev() {
+            let du = f.instrs[i].defs_uses();
+            for d in &du.defs {
+                kill[bi].insert(*d);
+                gen[bi].remove(*d);
+            }
+            for u in &du.uses {
+                gen[bi].insert(*u);
+            }
+        }
+    }
+
+    let mut live_in = vec![VBitSet::new(nv); nb];
+    let mut live_out = vec![VBitSet::new(nv); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nb).rev() {
+            let mut out = VBitSet::new(nv);
+            for &s in &cfg.succs[bi] {
+                out.union_with(&live_in[s]);
+            }
+            if out != live_out[bi] {
+                live_out[bi] = out;
+            }
+            // in = gen ∪ (out − kill)
+            let mut inn = live_out[bi].clone();
+            for (w, k) in inn.words.iter_mut().zip(&kill[bi].words) {
+                *w &= !k;
+            }
+            inn.union_with(&gen[bi]);
+            if inn != live_in[bi] {
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// The live interval of a virtual register over instruction positions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// The register.
+    pub vreg: VReg,
+    /// First position where the register is defined or live.
+    pub start: u32,
+    /// Last position where the register is live or used (inclusive).
+    pub end: u32,
+}
+
+/// Computes live intervals: for each virtual register, the covering
+/// range of positions where it is live-in, used or defined.
+///
+/// The per-position liveness is derived exactly from the block-level
+/// dataflow (so values live around loop back edges get intervals
+/// covering the whole loop), then collapsed to one covering interval
+/// per register — the classic linear-scan formulation.
+pub fn live_intervals(f: &KFunction, cfg: &Cfg, lv: &Liveness) -> Vec<Interval> {
+    let nv = f.classes.len();
+    let mut first = vec![u32::MAX; nv];
+    let mut last = vec![0u32; nv];
+    let touch = |r: VReg, pos: u32, first: &mut Vec<u32>, last: &mut Vec<u32>| {
+        let i = r.index() as usize;
+        first[i] = first[i].min(pos);
+        last[i] = last[i].max(pos);
+    };
+
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        // Walk backward from live-out.
+        let mut live = lv.live_out[bi].clone();
+        // Everything live-out of the block is live at its last position.
+        if b.end > b.start {
+            for r in live.iter().collect::<Vec<_>>() {
+                touch(r, (b.end - 1) as u32, &mut first, &mut last);
+            }
+        }
+        for i in (b.start..b.end).rev() {
+            let du = f.instrs[i].defs_uses();
+            for d in &du.defs {
+                touch(*d, i as u32, &mut first, &mut last);
+                live.remove(*d);
+            }
+            for u in &du.uses {
+                touch(*u, i as u32, &mut first, &mut last);
+                live.insert(*u);
+            }
+            // Anything still live is live at the previous position too.
+            if i > b.start {
+                for r in live.iter().collect::<Vec<_>>() {
+                    touch(r, (i - 1) as u32, &mut first, &mut last);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for i in 0..nv {
+        if first[i] != u32::MAX {
+            out.push(Interval {
+                vreg: VReg(i as u32),
+                start: first[i],
+                end: last[i],
+            });
+        }
+    }
+    out.sort_by_key(|iv| (iv.start, iv.end));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    #[test]
+    fn bitset_ops() {
+        let mut s = VBitSet::new(130);
+        assert!(s.insert(VReg(0)));
+        assert!(s.insert(VReg(129)));
+        assert!(!s.insert(VReg(0)));
+        assert!(s.contains(VReg(129)));
+        s.remove(VReg(129));
+        assert!(!s.contains(VReg(129)));
+        let members: Vec<u32> = s.iter().map(|r| r.index()).collect();
+        assert_eq!(members, vec![0]);
+    }
+
+    #[test]
+    fn straight_line_intervals() {
+        let mut b = KernelBuilder::kernel("k");
+        let x = b.iconst(1); // v0 def at 0
+        let y = b.iadd(x, 2u32); // v1 def at 1, uses v0
+        let _ = b.iadd(y, 3u32); // v2 def at 2, uses v1
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = block_liveness(&f, &cfg);
+        let ivs = live_intervals(&f, &cfg, &lv);
+        let iv0 = ivs.iter().find(|i| i.vreg == x.vreg()).unwrap();
+        assert_eq!((iv0.start, iv0.end), (0, 1));
+        let iv1 = ivs.iter().find(|i| i.vreg == y.vreg()).unwrap();
+        assert_eq!((iv1.start, iv1.end), (1, 2));
+    }
+
+    #[test]
+    fn loop_carried_value_lives_across_loop() {
+        let mut b = KernelBuilder::kernel("k");
+        let acc = b.var_u32(0u32);
+        let n = b.iconst(10);
+        b.for_range(0u32, n, 1, |b, _i| {
+            let next = b.iadd(acc, 1u32);
+            b.assign(acc, next);
+        });
+        // Use after loop.
+        let _ = b.iadd(acc, 5u32);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = block_liveness(&f, &cfg);
+        let ivs = live_intervals(&f, &cfg, &lv);
+        let acc_iv = ivs.iter().find(|i| i.vreg == acc.vreg()).unwrap();
+        // acc must be live from its def through the final use after the loop.
+        let final_use = f.instrs.len() as u32 - 2; // iadd before exit
+        assert!(acc_iv.start <= 1);
+        assert!(
+            acc_iv.end >= final_use,
+            "interval {acc_iv:?} vs use {final_use}"
+        );
+    }
+
+    #[test]
+    fn value_live_through_branch_arms() {
+        let mut b = KernelBuilder::kernel("k");
+        let x = b.iconst(7);
+        let p = b.setp_u32_lt(x, 3u32);
+        b.if_else(
+            p,
+            |b| {
+                let _ = b.iadd(x, 1u32);
+            },
+            |b| {
+                let _ = b.iadd(x, 2u32);
+            },
+        );
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = block_liveness(&f, &cfg);
+        let ivs = live_intervals(&f, &cfg, &lv);
+        let xi = ivs.iter().find(|i| i.vreg == x.vreg()).unwrap();
+        // x used in the else arm, which is late in the stream.
+        let else_use = f
+            .instrs
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, ins)| ins.defs_uses().uses.contains(&x.vreg()))
+            .unwrap()
+            .0;
+        assert!(xi.end >= else_use as u32);
+    }
+}

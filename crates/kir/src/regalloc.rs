@@ -1,0 +1,429 @@
+//! Linear-scan register allocation with spilling.
+//!
+//! Maps virtual registers onto the machine's GPR and predicate files
+//! under a configurable register budget. 64-bit values get aligned GPR
+//! pairs. When pressure exceeds the budget — which is exactly what
+//! happens to instrumentation handlers compiled under the paper's
+//! 16-register cap (`-maxrregcount=16`, §3.2) — values are assigned
+//! stack-frame spill slots, and the lowering pass materializes
+//! `LDL`/`STL` fills and spills around their uses.
+
+use crate::builder::KFunction;
+use crate::liveness::Interval;
+use crate::vreg::VClass;
+use std::fmt;
+
+/// Where a virtual register lives after allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// A single GPR.
+    Gpr(u8),
+    /// An aligned GPR pair (value holds the low register).
+    Pair(u8),
+    /// A predicate register.
+    Pred(u8),
+    /// A 4-byte stack spill slot at this frame offset.
+    SpillB32(u32),
+    /// An 8-byte stack spill slot at this frame offset.
+    SpillB64(u32),
+}
+
+impl Loc {
+    /// Whether the value lives in memory.
+    pub fn is_spill(&self) -> bool {
+        matches!(self, Loc::SpillB32(_) | Loc::SpillB64(_))
+    }
+}
+
+/// Allocation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegAllocError {
+    /// More than seven predicates live at once (predicates cannot be
+    /// spilled by this allocator).
+    PredPressure {
+        /// Position in the instruction stream.
+        at: u32,
+    },
+    /// The register budget is too small to host the allocator's
+    /// reserved registers.
+    BudgetTooSmall {
+        /// The offending budget.
+        budget: u8,
+    },
+}
+
+impl fmt::Display for RegAllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegAllocError::PredPressure { at } => {
+                write!(f, "more than 7 predicates live at instruction {at}")
+            }
+            RegAllocError::BudgetTooSmall { budget } => {
+                write!(f, "register budget {budget} too small (minimum 12)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegAllocError {}
+
+/// The result of register allocation for one function.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Location of each virtual register (`None` if it never appears).
+    pub locs: Vec<Option<Loc>>,
+    /// Bytes of stack frame consumed by spill slots (beyond the
+    /// function's explicit locals).
+    pub spill_bytes: u32,
+    /// The four reserved scratch GPRs (an aligned quad at the top of
+    /// the budget) used by the lowering pass for spill fills.
+    pub scratch: [u8; 4],
+    /// Highest GPR index handed out, plus one.
+    pub reg_high_water: u32,
+    /// Whether any value was spilled.
+    pub spilled: bool,
+}
+
+struct Active {
+    end: u32,
+    vreg_idx: usize,
+    loc: Loc,
+}
+
+struct Pool {
+    free: [bool; 256],
+    high_water: u32,
+}
+
+impl Pool {
+    fn new(budget: u8, reserved: &[u8]) -> Pool {
+        let mut free = [false; 256];
+        for r in 0..budget {
+            free[r as usize] = true;
+        }
+        for &r in reserved {
+            free[r as usize] = false;
+        }
+        Pool {
+            free,
+            high_water: 0,
+        }
+    }
+
+    fn take_single(&mut self) -> Option<u8> {
+        for r in 0..=255u16 {
+            if self.free[r as usize] {
+                self.free[r as usize] = false;
+                self.high_water = self.high_water.max(r as u32 + 1);
+                return Some(r as u8);
+            }
+        }
+        None
+    }
+
+    fn take_pair(&mut self) -> Option<u8> {
+        let mut r = 0usize;
+        while r + 1 < 256 {
+            if self.free[r] && self.free[r + 1] {
+                self.free[r] = false;
+                self.free[r + 1] = false;
+                self.high_water = self.high_water.max(r as u32 + 2);
+                return Some(r as u8);
+            }
+            r += 2;
+        }
+        None
+    }
+
+    fn release(&mut self, loc: Loc) {
+        match loc {
+            Loc::Gpr(r) => self.free[r as usize] = true,
+            Loc::Pair(r) => {
+                self.free[r as usize] = true;
+                self.free[r as usize + 1] = true;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs linear-scan allocation over `intervals` (sorted by start).
+///
+/// `budget` is the GPR cap (the paper's `-maxrregcount` analogue).
+/// `spill_base` is the frame offset where spill slots may begin.
+///
+/// # Errors
+///
+/// Returns [`RegAllocError::PredPressure`] if more than seven predicates
+/// are simultaneously live, and [`RegAllocError::BudgetTooSmall`] for
+/// budgets under 12.
+pub fn allocate(
+    f: &KFunction,
+    intervals: &[Interval],
+    budget: u8,
+    spill_base: u32,
+) -> Result<Allocation, RegAllocError> {
+    if budget < 12 {
+        return Err(RegAllocError::BudgetTooSmall { budget });
+    }
+    // Reserved: R1 (stack pointer), a scratch quad at the top of the
+    // budget, and the ABI parameter registers R4..R7 for handlers.
+    let scratch_base = (budget - 4) & !1;
+    let scratch = [
+        scratch_base,
+        scratch_base + 1,
+        scratch_base + 2,
+        scratch_base + 3,
+    ];
+    let mut reserved = vec![1u8, scratch[0], scratch[1], scratch[2], scratch[3]];
+    if f.abi_function {
+        reserved.extend_from_slice(&[4, 5, 6, 7]);
+    }
+
+    let mut pool = Pool::new(budget, &reserved);
+    let mut pred_free = [true; 7];
+    let mut locs: Vec<Option<Loc>> = vec![None; f.classes.len()];
+    let mut active: Vec<Active> = Vec::new();
+    let mut spill_next = (spill_base + 7) & !7;
+    let mut spilled = false;
+
+    let spill_slot = |class: VClass, spill_next: &mut u32| -> Loc {
+        match class {
+            VClass::B64 => {
+                *spill_next = (*spill_next + 7) & !7;
+                let off = *spill_next;
+                *spill_next += 8;
+                Loc::SpillB64(off)
+            }
+            _ => {
+                let off = *spill_next;
+                *spill_next += 4;
+                Loc::SpillB32(off)
+            }
+        }
+    };
+
+    for iv in intervals {
+        let pos = iv.start;
+        // Expire strictly-finished intervals. Intervals ending exactly at
+        // `pos` stay live so multi-instruction lowerings never alias a
+        // destination with a just-dying source.
+        active.retain(|a| {
+            if a.end < pos {
+                pool.release(a.loc);
+                if let Loc::Pred(p) = a.loc {
+                    pred_free[p as usize] = true;
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        let class = f.classes[iv.vreg.index() as usize];
+        let loc = match class {
+            VClass::Pred => {
+                let slot = (0..7u8).find(|&i| pred_free[i as usize]);
+                match slot {
+                    Some(i) => {
+                        pred_free[i as usize] = false;
+                        Loc::Pred(i)
+                    }
+                    None => return Err(RegAllocError::PredPressure { at: pos }),
+                }
+            }
+            VClass::B32 => match pool.take_single() {
+                Some(r) => Loc::Gpr(r),
+                None => {
+                    spilled = true;
+                    // Spill the active GPR interval with the furthest end
+                    // if it outlives the new one; otherwise spill the new.
+                    if let Some((ai, _)) = active
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| matches!(a.loc, Loc::Gpr(_) | Loc::Pair(_)))
+                        .max_by_key(|(_, a)| a.end)
+                        .filter(|(_, a)| a.end > iv.end)
+                    {
+                        let victim = active.remove(ai);
+                        pool.release(victim.loc);
+                        let vclass = f.classes[victim.vreg_idx];
+                        locs[victim.vreg_idx] = Some(spill_slot(vclass, &mut spill_next));
+                        Loc::Gpr(pool.take_single().expect("freed at least one GPR"))
+                    } else {
+                        spill_slot(VClass::B32, &mut spill_next)
+                    }
+                }
+            },
+            VClass::B64 => match pool.take_pair() {
+                Some(r) => Loc::Pair(r),
+                None => {
+                    spilled = true;
+                    // Evict furthest-end active intervals until a pair
+                    // frees up, or give up and spill the new interval.
+                    let mut assigned = None;
+                    for _ in 0..8 {
+                        let Some((ai, _)) = active
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, a)| matches!(a.loc, Loc::Gpr(_) | Loc::Pair(_)))
+                            .max_by_key(|(_, a)| a.end)
+                            .filter(|(_, a)| a.end > iv.end)
+                        else {
+                            break;
+                        };
+                        let victim = active.remove(ai);
+                        pool.release(victim.loc);
+                        let vclass = f.classes[victim.vreg_idx];
+                        locs[victim.vreg_idx] = Some(spill_slot(vclass, &mut spill_next));
+                        if let Some(r) = pool.take_pair() {
+                            assigned = Some(Loc::Pair(r));
+                            break;
+                        }
+                    }
+                    assigned.unwrap_or_else(|| spill_slot(VClass::B64, &mut spill_next))
+                }
+            },
+        };
+
+        locs[iv.vreg.index() as usize] = Some(loc);
+        if !loc.is_spill() {
+            active.push(Active {
+                end: iv.end,
+                vreg_idx: iv.vreg.index() as usize,
+                loc,
+            });
+        }
+    }
+
+    Ok(Allocation {
+        locs,
+        spill_bytes: spill_next.saturating_sub(spill_base),
+        scratch,
+        reg_high_water: pool.high_water.max(2), // R1 is always implicitly used
+        spilled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::cfg::Cfg;
+    use crate::liveness::{block_liveness, live_intervals};
+
+    fn alloc_for(f: &KFunction, budget: u8) -> Allocation {
+        let cfg = Cfg::build(f);
+        let lv = block_liveness(f, &cfg);
+        let ivs = live_intervals(f, &cfg, &lv);
+        allocate(f, &ivs, budget, f.frame_bytes).unwrap()
+    }
+
+    #[test]
+    fn simple_allocation_no_spills() {
+        let mut b = KernelBuilder::kernel("k");
+        let x = b.iconst(1);
+        let y = b.iadd(x, 2u32);
+        let _ = b.iadd(y, 3u32);
+        let f = b.finish();
+        let a = alloc_for(&f, 32);
+        assert!(!a.spilled);
+        assert_eq!(a.spill_bytes, 0);
+        // No allocated register may be R1 or scratch.
+        for loc in a.locs.iter().flatten() {
+            match loc {
+                Loc::Gpr(r) => {
+                    assert_ne!(*r, 1);
+                    assert!(!a.scratch.contains(r));
+                }
+                Loc::Pair(r) => {
+                    assert_eq!(r % 2, 0);
+                    assert!(*r != 0 || true);
+                    assert_ne!(*r, 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_are_even_aligned() {
+        let mut b = KernelBuilder::kernel("k");
+        let p = b.param_ptr(0);
+        let q = b.param_ptr(1);
+        let _ = b.add64(p, q);
+        let f = b.finish();
+        let a = alloc_for(&f, 32);
+        for loc in a.locs.iter().flatten() {
+            if let Loc::Pair(r) = loc {
+                assert_eq!(r % 2, 0, "pair at R{r} not aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_forces_spills_under_16_reg_cap() {
+        let mut b = KernelBuilder::kernel("k");
+        // Create 24 values all live to the end.
+        let vals: Vec<_> = (0..24).map(|i| b.iconst(i)).collect();
+        let mut acc = b.iconst(0);
+        for v in &vals {
+            acc = b.iadd(acc, *v);
+        }
+        let f = b.finish();
+        let a = alloc_for(&f, 16);
+        assert!(a.spilled, "16-register cap must force spills");
+        assert!(a.spill_bytes > 0);
+        let a64 = alloc_for(&f, 64);
+        assert!(!a64.spilled, "64 registers fit comfortably");
+    }
+
+    #[test]
+    fn distinct_live_vregs_get_distinct_regs() {
+        let mut b = KernelBuilder::kernel("k");
+        let x = b.iconst(1);
+        let y = b.iconst(2);
+        let z = b.iadd(x, y); // x,y live simultaneously
+        let _ = b.iadd(z, x); // x lives past y
+        let f = b.finish();
+        let a = alloc_for(&f, 32);
+        let lx = a.locs[x.vreg().index() as usize].unwrap();
+        let ly = a.locs[y.vreg().index() as usize].unwrap();
+        assert_ne!(lx, ly);
+    }
+
+    #[test]
+    fn abi_function_avoids_param_regs() {
+        let mut b = KernelBuilder::abi_function("h");
+        let p = b.abi_param_ptr(0);
+        let v = b.ld_generic_u32(p, 0);
+        let w = b.iadd(v, 1u32);
+        b.st_generic_u32(p, 0, w);
+        b.ret();
+        let f = b.finish();
+        let a = alloc_for(&f, 16);
+        for loc in a.locs.iter().flatten() {
+            match loc {
+                Loc::Gpr(r) => assert!(!(4..=7).contains(r), "R{r} is an ABI param reg"),
+                Loc::Pair(r) => {
+                    assert!(!(4..=7).contains(r) && !(4..=7).contains(&(r + 1)));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn budget_too_small_rejected() {
+        let mut b = KernelBuilder::kernel("k");
+        let _ = b.iconst(0);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = block_liveness(&f, &cfg);
+        let ivs = live_intervals(&f, &cfg, &lv);
+        assert!(matches!(
+            allocate(&f, &ivs, 8, 0),
+            Err(RegAllocError::BudgetTooSmall { .. })
+        ));
+    }
+}

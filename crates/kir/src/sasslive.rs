@@ -1,0 +1,289 @@
+//! SASS-level control-flow graph, per-instruction register liveness and
+//! post-dominance — the compile-time facts SASSI consumes.
+//!
+//! The paper's instrumentor runs as the final backend pass and uses the
+//! compiler's liveness to spill only what a handler call could clobber.
+//! This module computes exactly that: for every machine instruction, the
+//! sets of GPRs, predicates and CC live before and after it.
+
+use sassi_isa::{Function, Instr, Label, Op, RegSet};
+use std::collections::HashMap;
+
+/// A basic block over SASS instruction indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SassBlock {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+}
+
+/// CFG over a compiled [`Function`].
+#[derive(Clone, Debug)]
+pub struct SassCfg {
+    /// Blocks in layout order.
+    pub blocks: Vec<SassBlock>,
+    /// Successors per block.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<usize>>,
+    /// Block index of each instruction.
+    pub block_of: Vec<usize>,
+}
+
+fn branch_target(i: &Instr) -> Option<u32> {
+    match &i.op {
+        Op::Bra {
+            target: Label::Pc(t),
+            ..
+        } => Some(*t),
+        _ => None,
+    }
+}
+
+fn ends_block(i: &Instr) -> bool {
+    matches!(i.op, Op::Bra { .. } | Op::Sync | Op::Exit | Op::Ret)
+}
+
+impl SassCfg {
+    /// Builds the CFG of a function, using `meta.sync_reconv` for the
+    /// reconvergence edges of `SYNC` instructions.
+    pub fn build(f: &Function) -> SassCfg {
+        let n = f.instrs.len();
+        let mut leader = vec![false; n.max(1)];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, ins) in f.instrs.iter().enumerate() {
+            if let Some(t) = branch_target(ins) {
+                leader[t as usize] = true;
+            }
+            if let Op::Ssy {
+                target: Label::Pc(t),
+            } = ins.op
+            {
+                leader[t as usize] = true;
+            }
+            if ends_block(ins) && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+        for &t in f.meta.sync_reconv.values() {
+            leader[t as usize] = true;
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for i in 1..n {
+            if leader[i] {
+                blocks.push(SassBlock { start, end: i });
+                start = i;
+            }
+        }
+        if n > 0 {
+            blocks.push(SassBlock { start, end: n });
+        }
+        for (bi, b) in blocks.iter().enumerate() {
+            for i in b.start..b.end {
+                block_of[i] = bi;
+            }
+        }
+
+        let mut succs = vec![Vec::new(); blocks.len()];
+        for (bi, b) in blocks.iter().enumerate() {
+            let li = b.end - 1;
+            let last = &f.instrs[li];
+            let guarded = last.is_guarded();
+            let mut out = Vec::new();
+            match &last.op {
+                Op::Bra {
+                    target: Label::Pc(t),
+                    ..
+                } => {
+                    out.push(block_of[*t as usize]);
+                    if guarded && b.end < n {
+                        out.push(block_of[b.end]);
+                    }
+                }
+                Op::Sync => {
+                    if let Some(&t) = f.meta.sync_reconv.get(&(li as u32)) {
+                        out.push(block_of[t as usize]);
+                    }
+                    if guarded && b.end < n {
+                        out.push(block_of[b.end]);
+                    }
+                }
+                Op::Exit => {
+                    if guarded && b.end < n {
+                        out.push(block_of[b.end]);
+                    }
+                }
+                Op::Ret => {}
+                _ => {
+                    if b.end < n {
+                        out.push(block_of[b.end]);
+                    }
+                }
+            }
+            out.dedup();
+            succs[bi] = out;
+        }
+
+        let mut preds = vec![Vec::new(); blocks.len()];
+        for (bi, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(bi);
+            }
+        }
+        SassCfg {
+            blocks,
+            succs,
+            preds,
+            block_of,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Per-instruction liveness over architectural registers.
+#[derive(Clone, Debug)]
+pub struct SassLiveness {
+    /// Registers live immediately before each instruction.
+    pub live_in: Vec<RegSet>,
+    /// Registers live immediately after each instruction.
+    pub live_out: Vec<RegSet>,
+}
+
+/// Computes per-instruction liveness for a compiled function.
+///
+/// This is the map SASSI consults to decide which registers a
+/// trampoline must save around a handler call.
+pub fn liveness(f: &Function, cfg: &SassCfg) -> SassLiveness {
+    let nb = cfg.len();
+    let n = f.instrs.len();
+    let mut blk_gen = vec![RegSet::new(); nb];
+    let mut blk_kill = vec![RegSet::new(); nb];
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        for i in (b.start..b.end).rev() {
+            let du = f.instrs[i].defs_uses();
+            // A guarded def is a partial write: not a kill.
+            if !f.instrs[i].is_guarded() {
+                let mut defs = du.defs;
+                blk_kill[bi].union_with(&defs);
+                defs.subtract(&du.uses);
+                // gen -= full defs
+                let mut g = blk_gen[bi];
+                g.subtract(&du.defs);
+                blk_gen[bi] = g;
+            }
+            blk_gen[bi].union_with(&du.uses);
+            if f.instrs[i].is_guarded() {
+                // treat the guarded def as a use (old value may survive)
+                blk_gen[bi].union_with(&du.defs);
+            }
+        }
+    }
+
+    let mut bin = vec![RegSet::new(); nb];
+    let mut bout = vec![RegSet::new(); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nb).rev() {
+            let mut out = RegSet::new();
+            for &s in &cfg.succs[bi] {
+                out.union_with(&bin[s]);
+            }
+            bout[bi] = out;
+            let mut inn = out;
+            inn.subtract(&blk_kill[bi]);
+            inn.union_with(&blk_gen[bi]);
+            if inn != bin[bi] {
+                bin[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    let mut live_in = vec![RegSet::new(); n];
+    let mut live_out = vec![RegSet::new(); n];
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        let mut live = bout[bi];
+        for i in (b.start..b.end).rev() {
+            live_out[i] = live;
+            let du = f.instrs[i].defs_uses();
+            if !f.instrs[i].is_guarded() {
+                live.subtract(&du.defs);
+            }
+            live.union_with(&du.uses);
+            if f.instrs[i].is_guarded() {
+                live.union_with(&du.defs);
+            }
+            live_in[i] = live;
+        }
+    }
+    SassLiveness { live_in, live_out }
+}
+
+/// Post-dominator sets per block (bit-matrix as Vec of bool rows), with
+/// `RET`/unguarded-`EXIT` blocks flowing to a virtual exit.
+pub fn postdominators(cfg: &SassCfg) -> Vec<Vec<bool>> {
+    let n = cfg.len();
+    // pdom[b] = {b} ∪ ⋂ pdom(succ). Exit blocks start at {b}.
+    let mut pdom: Vec<Vec<bool>> = (0..n)
+        .map(|b| {
+            if cfg.succs[b].is_empty() {
+                let mut row = vec![false; n];
+                row[b] = true;
+                row
+            } else {
+                vec![true; n]
+            }
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            if cfg.succs[b].is_empty() {
+                continue;
+            }
+            let mut row = vec![true; n];
+            for &s in &cfg.succs[b] {
+                for (r, sv) in row.iter_mut().zip(&pdom[s]) {
+                    *r &= sv;
+                }
+            }
+            row[b] = true;
+            if row != pdom[b] {
+                pdom[b] = row;
+                changed = true;
+            }
+        }
+    }
+    pdom
+}
+
+/// Map from instruction index to containing block for external callers.
+pub fn block_index(cfg: &SassCfg, pc: u32) -> usize {
+    cfg.block_of[pc as usize]
+}
+
+/// Convenience: builds the CFG and liveness in one call.
+pub fn function_liveness(f: &Function) -> SassLiveness {
+    let cfg = SassCfg::build(f);
+    liveness(f, &cfg)
+}
+
+#[allow(dead_code)]
+fn _unused(_: &HashMap<u32, u32>) {}

@@ -1,0 +1,167 @@
+//! Virtual registers and typed value handles.
+//!
+//! The kernel IR is register-based but *virtual*: the builder hands out
+//! an unbounded supply of virtual registers in three classes — 32-bit,
+//! 64-bit (allocated to aligned GPR pairs) and predicate — and the
+//! linear-scan allocator later maps them onto the machine's `R0..` and
+//! `P0..P6` name spaces, spilling 32/64-bit values to the stack when the
+//! register budget (e.g. the 16-register handler cap of the paper's
+//! §3.2) is exceeded.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Storage class of a virtual register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum VClass {
+    /// One 32-bit GPR.
+    B32,
+    /// An aligned pair of GPRs holding a 64-bit value.
+    B64,
+    /// A predicate bit.
+    Pred,
+}
+
+/// A virtual register id. The class is tracked by the function being
+/// built; the typed wrappers [`V32`], [`V64`] and [`VP`] are what user
+/// code sees.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VReg(pub(crate) u32);
+
+impl VReg {
+    /// Raw id.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A 32-bit value handle (int or float bits).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct V32(pub(crate) VReg);
+
+/// A 64-bit value handle (addresses, wide integers).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct V64(pub(crate) VReg);
+
+/// A predicate (boolean) value handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VP(pub(crate) VReg);
+
+impl V32 {
+    /// The underlying virtual register.
+    pub fn vreg(self) -> VReg {
+        self.0
+    }
+}
+
+impl V64 {
+    /// The underlying virtual register.
+    pub fn vreg(self) -> VReg {
+        self.0
+    }
+}
+
+impl VP {
+    /// The underlying virtual register.
+    pub fn vreg(self) -> VReg {
+        self.0
+    }
+}
+
+/// A 32-bit operand: virtual register or immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum VSrc {
+    /// A virtual register (class `B32`).
+    Reg(VReg),
+    /// A 32-bit immediate.
+    Imm(u32),
+}
+
+impl VSrc {
+    /// The virtual register, if the operand is one.
+    pub fn reg(self) -> Option<VReg> {
+        match self {
+            VSrc::Reg(r) => Some(r),
+            VSrc::Imm(_) => None,
+        }
+    }
+}
+
+impl From<V32> for VSrc {
+    fn from(v: V32) -> VSrc {
+        VSrc::Reg(v.0)
+    }
+}
+
+impl From<u32> for VSrc {
+    fn from(v: u32) -> VSrc {
+        VSrc::Imm(v)
+    }
+}
+
+impl From<i32> for VSrc {
+    fn from(v: i32) -> VSrc {
+        VSrc::Imm(v as u32)
+    }
+}
+
+impl From<f32> for VSrc {
+    fn from(v: f32) -> VSrc {
+        VSrc::Imm(v.to_bits())
+    }
+}
+
+impl fmt::Display for VSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VSrc::Reg(r) => write!(f, "{r}"),
+            VSrc::Imm(v) => write!(f, "{v:#x}"),
+        }
+    }
+}
+
+/// A forward-referenceable code label inside a function under
+/// construction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct LabelId(pub(crate) u32);
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vsrc_conversions() {
+        let r = VReg(3);
+        assert_eq!(VSrc::from(V32(r)), VSrc::Reg(r));
+        assert_eq!(VSrc::from(5u32), VSrc::Imm(5));
+        assert_eq!(VSrc::from(-1i32), VSrc::Imm(u32::MAX));
+        assert_eq!(VSrc::from(1.0f32), VSrc::Imm(0x3f80_0000));
+        assert_eq!(VSrc::Imm(1).reg(), None);
+        assert_eq!(VSrc::Reg(r).reg(), Some(r));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VReg(7).to_string(), "v7");
+        assert_eq!(LabelId(2).to_string(), "L2");
+        assert_eq!(VSrc::Imm(16).to_string(), "0x10");
+    }
+}

@@ -1,0 +1,251 @@
+//! Set-associative, write-back LRU caches (L1 per SM, shared L2).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Kepler-flavoured 16 KiB L1: 32 B lines, 4-way, 128 sets.
+    pub fn l1_default() -> CacheConfig {
+        CacheConfig {
+            sets: 128,
+            ways: 4,
+            line_bytes: 32,
+        }
+    }
+
+    /// Kepler-flavoured 2 MiB L2: 32 B lines, 16-way.
+    pub fn l2_default() -> CacheConfig {
+        CacheConfig {
+            sets: 4096,
+            ways: 16,
+            line_bytes: 32,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes as u64
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; zero when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64, // larger = more recently used
+}
+
+/// A set-associative write-back cache with LRU replacement.
+///
+/// Purely a tag store: data travels through [`crate::DeviceMemory`];
+/// the cache decides hits, misses and writebacks.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or if
+    /// `ways` is zero.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(cfg.ways > 0, "ways must be nonzero");
+        Cache {
+            cfg,
+            lines: vec![Line::default(); (cfg.sets * cfg.ways) as usize],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets contents and statistics.
+    pub fn reset(&mut self) {
+        self.lines.fill(Line::default());
+        self.tick = 0;
+        self.stats = CacheStats::default();
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes as u64) % self.cfg.sets as u64) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes as u64 / self.cfg.sets as u64
+    }
+
+    /// Performs one line access. Returns `true` on hit. On a miss the
+    /// line is filled (allocate-on-miss for both reads and writes) and
+    /// the victim, if dirty, counts as a writeback.
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.tick += 1;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let base = set * self.cfg.ways as usize;
+        let ways = &mut self.lines[base..base + self.cfg.ways as usize];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return true;
+        }
+
+        self.stats.misses += 1;
+        // Choose victim: an invalid way, else the least recently used.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("ways > 0");
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.tick,
+        };
+        false
+    }
+
+    /// Probes without modifying state. Returns whether `addr` currently
+    /// hits.
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let base = set * self.cfg.ways as usize;
+        self.lines[base..base + self.cfg.ways as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 32,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false));
+        assert!(c.access(0x100, false));
+        assert!(c.access(0x11f, false), "same 32B line");
+        assert!(!c.access(0x120, false), "next line misses");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets*line = 128).
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // refresh line 0
+        c.access(0x100, false); // evicts 0x080 (LRU)
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+        assert!(c.probe(0x100));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x080, false);
+        c.access(0x100, false); // evicts dirty 0x000
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = tiny();
+        c.access(0x40, false);
+        c.reset();
+        assert!(!c.probe(0x40));
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.stats().hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(CacheConfig::l1_default().capacity(), 16 * 1024);
+    }
+}

@@ -1,0 +1,115 @@
+//! The per-warp memory coalescer.
+//!
+//! In the SIMT model a warp instruction can issue up to 32 distinct
+//! addresses, one per active lane. Accesses falling in the same cache
+//! line are combined into a single memory transaction. Structured
+//! access patterns touch few unique lines and coalesce well; irregular
+//! patterns are *memory address diverged* (paper §6) and fan out into
+//! up to 32 transactions that must all complete before the warp may
+//! proceed.
+
+/// Cache-line (coalescing) granularity in bytes. The paper's
+/// memory-divergence study uses 32-byte lines.
+pub const LINE_BYTES: u32 = 32;
+
+/// The result of coalescing one warp memory instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoalesceResult {
+    /// Unique line-aligned addresses, in first-touch order.
+    pub lines: Vec<u64>,
+    /// Number of active lanes that issued an address.
+    pub active: u32,
+}
+
+impl CoalesceResult {
+    /// Number of unique cache lines touched — the divergence measure of
+    /// Figures 7 and 8.
+    pub fn unique_lines(&self) -> u32 {
+        self.lines.len() as u32
+    }
+
+    /// Whether the access is fully coalesced (a single transaction).
+    pub fn is_fully_coalesced(&self) -> bool {
+        self.lines.len() <= 1
+    }
+
+    /// Whether the access is maximally diverged (every active lane on
+    /// its own line).
+    pub fn is_fully_diverged(&self) -> bool {
+        self.active > 1 && self.lines.len() as u32 == self.active
+    }
+}
+
+/// Coalesces the addresses issued by a warp's active lanes into unique
+/// line transactions. Accesses wider than a lane's element never span
+/// lines in this model if naturally aligned; spanning accesses count a
+/// line per touched line.
+pub fn coalesce_addresses(addrs: &[u64], width_bytes: u32) -> CoalesceResult {
+    let mut lines: Vec<u64> = Vec::with_capacity(addrs.len());
+    for &a in addrs {
+        let first = a / LINE_BYTES as u64;
+        let last = (a + width_bytes.max(1) as u64 - 1) / LINE_BYTES as u64;
+        for line in first..=last {
+            let base = line * LINE_BYTES as u64;
+            if !lines.contains(&base) {
+                lines.push(base);
+            }
+        }
+    }
+    CoalesceResult {
+        lines,
+        active: addrs.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_coalesces_to_four_lines() {
+        // 32 lanes × 4 bytes, unit stride: 128 bytes = 4 × 32B lines.
+        let addrs: Vec<u64> = (0..32).map(|i| 0x1000 + 4 * i as u64).collect();
+        let r = coalesce_addresses(&addrs, 4);
+        assert_eq!(r.unique_lines(), 4);
+        assert_eq!(r.active, 32);
+        assert!(!r.is_fully_diverged());
+    }
+
+    #[test]
+    fn same_address_is_one_line() {
+        let addrs = vec![0x2000u64; 32];
+        let r = coalesce_addresses(&addrs, 4);
+        assert_eq!(r.unique_lines(), 1);
+        assert!(r.is_fully_coalesced());
+    }
+
+    #[test]
+    fn strided_by_line_is_fully_diverged() {
+        let addrs: Vec<u64> = (0..32).map(|i| 0x4000 + 32 * i as u64).collect();
+        let r = coalesce_addresses(&addrs, 4);
+        assert_eq!(r.unique_lines(), 32);
+        assert!(r.is_fully_diverged());
+    }
+
+    #[test]
+    fn line_spanning_access_counts_both_lines() {
+        let r = coalesce_addresses(&[30], 4); // bytes 30..34 span lines 0 and 1
+        assert_eq!(r.unique_lines(), 2);
+    }
+
+    #[test]
+    fn empty_warp() {
+        let r = coalesce_addresses(&[], 4);
+        assert_eq!(r.unique_lines(), 0);
+        assert_eq!(r.active, 0);
+        assert!(r.is_fully_coalesced());
+        assert!(!r.is_fully_diverged());
+    }
+
+    #[test]
+    fn order_preserved_first_touch() {
+        let r = coalesce_addresses(&[0x100, 0x40, 0x100], 4);
+        assert_eq!(r.lines, vec![0x100, 0x40]);
+    }
+}

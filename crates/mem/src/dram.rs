@@ -1,0 +1,117 @@
+//! A bandwidth- and latency-limited DRAM model.
+//!
+//! Each transaction pays a fixed access latency and occupies the data
+//! bus for `line_bytes / bytes_per_cycle` cycles; transactions queue
+//! behind one another when issued faster than the bus drains, which is
+//! what makes memory-diverged warps expensive.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Fixed access latency in core cycles.
+    pub latency: u64,
+    /// Sustained bandwidth in bytes per core cycle.
+    pub bytes_per_cycle: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> DramConfig {
+        // ~Kepler-class ratio: a few hundred cycles latency, enough
+        // bandwidth that fully-coalesced streams are not bus-bound.
+        DramConfig {
+            latency: 220,
+            bytes_per_cycle: 16,
+        }
+    }
+}
+
+/// The DRAM channel.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    bus_free_at: u64,
+    transactions: u64,
+    bytes: u64,
+}
+
+impl Dram {
+    /// Creates an idle channel.
+    pub fn new(cfg: DramConfig) -> Dram {
+        Dram {
+            cfg,
+            bus_free_at: 0,
+            transactions: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Issues one transaction of `bytes` at time `now`; returns the
+    /// cycle at which the data is available.
+    pub fn access(&mut self, now: u64, bytes: u64) -> u64 {
+        let start = now.max(self.bus_free_at);
+        let occupancy = bytes.div_ceil(self.cfg.bytes_per_cycle.max(1));
+        self.bus_free_at = start + occupancy;
+        self.transactions += 1;
+        self.bytes += bytes;
+        start + self.cfg.latency + occupancy
+    }
+
+    /// Total transactions served.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Resets queue state and counters.
+    pub fn reset(&mut self) {
+        self.bus_free_at = 0;
+        self.transactions = 0;
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_access_pays_latency() {
+        let mut d = Dram::new(DramConfig {
+            latency: 100,
+            bytes_per_cycle: 32,
+        });
+        let done = d.access(10, 32);
+        assert_eq!(done, 10 + 100 + 1);
+    }
+
+    #[test]
+    fn back_to_back_accesses_queue() {
+        let mut d = Dram::new(DramConfig {
+            latency: 100,
+            bytes_per_cycle: 8,
+        });
+        let a = d.access(0, 32); // bus 0..4
+        let b = d.access(0, 32); // bus 4..8
+        assert_eq!(a, 104);
+        assert_eq!(b, 108);
+        assert_eq!(d.transactions(), 2);
+        assert_eq!(d.bytes(), 64);
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut d = Dram::new(DramConfig {
+            latency: 10,
+            bytes_per_cycle: 32,
+        });
+        d.access(0, 32);
+        let late = d.access(1000, 32);
+        assert_eq!(late, 1000 + 10 + 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sassi-rt — the host-side runtime
+//!
+//! Plays the role of the CUDA runtime + CUPTI in the paper's flow:
+//!
+//! * [`ModuleBuilder`] — the `nvcc`/`ptxas`/`nvlink` pipeline: compiles
+//!   kernel IR, runs the SASSI pass *as the backend's final pass*
+//!   (Figure 1) and links everything (including compiled-SASS handlers
+//!   built under the 16-register cap) into one [`Module`].
+//! * [`Runtime`] — device-buffer management (`cudaMalloc`/`cudaMemcpy`
+//!   analogues), kernel launches, and [`Cupti`]-style kernel-launch /
+//!   kernel-exit callbacks used by instrumentation libraries to
+//!   initialize and collect device-side counters (paper §3.3). Launches
+//!   are serialized, which — as the paper notes of `cudaMemcpy` —
+//!   prevents races on the counters.
+//! * [`AppClock`] — the whole-program time model behind Table 3's `T`
+//!   column: modelled CPU time + PCIe transfer time + simulated kernel
+//!   time.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clock;
+mod pipeline;
+mod runtime;
+
+pub use clock::AppClock;
+pub use pipeline::{BuildError, ModuleBuilder};
+pub use runtime::{Cupti, DevBuf, LaunchInfo, LaunchRecord, Runtime};
+
+pub use sassi_sim::{Device, GpuConfig, LaunchDims, LaunchResult, Module};

@@ -1,0 +1,1298 @@
+//! The device executor: multi-SM, cycle-approximate SIMT simulation.
+//!
+//! Functional semantics are exact (every lane's registers, predicates,
+//! memories); timing is approximate but divergence-faithful: one warp
+//! instruction issues per SM per cycle, memory operations stall warps
+//! for latencies produced by the coalescer/cache/DRAM model, and
+//! control divergence serializes paths exactly as the divergence stack
+//! dictates.
+
+use crate::config::{GpuConfig, LaunchDims};
+use crate::module::{LinkedFunction, Module};
+use crate::stats::{FaultInfo, FaultKind, KernelOutcome, LaunchResult, LaunchStats};
+use crate::trap::{HandlerRuntime, TrapCtx};
+use crate::warp::{Warp, WarpStatus};
+use sassi_isa::{
+    cbank0, resolve_generic, AddrSpace, AtomOp, CmpOp, Gpr, Instr, Label, LaneMask, LogicOp,
+    MemAddr, MemWidth, Op, ShflMode, SpecialReg, Src, VoteMode,
+};
+use sassi_mem::{DeviceMemory, MemError, MemoryHierarchy};
+use std::fmt;
+
+/// Host-side launch misuse (distinct from device faults, which are
+/// reported in [`LaunchResult`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The kernel symbol is not in the module.
+    UnknownKernel(String),
+    /// The launch geometry cannot be scheduled on this device.
+    BadGeometry(String),
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::UnknownKernel(k) => write!(f, "unknown kernel `{k}`"),
+            LaunchError::BadGeometry(m) => write!(f, "bad launch geometry: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// The simulated GPU: configuration, global memory and the cache
+/// hierarchy. Memory contents persist across launches, so hosts can
+/// allocate buffers once and run many kernels, CUDA-style.
+pub struct Device {
+    /// Machine configuration.
+    pub cfg: GpuConfig,
+    /// Global device memory.
+    pub mem: DeviceMemory,
+    hier: MemoryHierarchy,
+}
+
+impl Device {
+    /// Creates a device with a global heap of `heap_bytes`.
+    pub fn new(cfg: GpuConfig, heap_bytes: usize) -> Device {
+        Device {
+            cfg,
+            mem: DeviceMemory::new(heap_bytes),
+            hier: MemoryHierarchy::new(cfg.num_sms as usize, cfg.hierarchy),
+        }
+    }
+
+    /// A default device with a 256 MiB heap.
+    pub fn with_defaults() -> Device {
+        Device::new(GpuConfig::default(), 256 << 20)
+    }
+
+    /// Launches `kernel` from `module` and runs it to completion (or
+    /// fault / watchdog expiry). `params` are 8-byte argument slots.
+    ///
+    /// # Errors
+    ///
+    /// Host-side [`LaunchError`]s only; device faults and hangs are
+    /// reported inside the returned [`LaunchResult`].
+    pub fn launch(
+        &mut self,
+        module: &Module,
+        kernel: &str,
+        dims: LaunchDims,
+        params: &[u64],
+        runtime: &mut dyn HandlerRuntime,
+        launch_index: u64,
+        max_cycles: u64,
+    ) -> Result<LaunchResult, LaunchError> {
+        let kf = module
+            .function(kernel)
+            .ok_or_else(|| LaunchError::UnknownKernel(kernel.to_string()))?
+            .clone();
+        let wpb = dims.warps_per_block();
+        if wpb == 0 || dims.total_blocks() == 0 {
+            return Err(LaunchError::BadGeometry("empty grid or block".into()));
+        }
+        if wpb > self.cfg.max_warps_per_sm {
+            return Err(LaunchError::BadGeometry(format!(
+                "block needs {wpb} warps, SM holds {}",
+                self.cfg.max_warps_per_sm
+            )));
+        }
+        let shared_bytes = (kf.meta.shared_bytes + 7) & !7;
+        if shared_bytes > self.cfg.shared_per_sm {
+            return Err(LaunchError::BadGeometry(format!(
+                "block needs {shared_bytes} B shared, SM has {}",
+                self.cfg.shared_per_sm
+            )));
+        }
+
+        self.hier.reset();
+        let mut exec = Exec {
+            cfg: &self.cfg,
+            module,
+            kernel: &kf,
+            dims,
+            cbank: build_cbank0(&self.cfg, &kf, dims, params),
+            mem: &mut self.mem,
+            hier: &mut self.hier,
+            runtime,
+            launch_index,
+            ctas: Vec::new(),
+            warps: Vec::new(),
+            sm_warps: vec![Vec::new(); self.cfg.num_sms as usize],
+            sm_rr: vec![0; self.cfg.num_sms as usize],
+            sm_load: vec![0; self.cfg.num_sms as usize],
+            next_block: 0,
+            cycle: 0,
+            stats: LaunchStats::default(),
+        };
+        let outcome = exec.run(max_cycles);
+        let mut stats = exec.stats;
+        stats.cycles = exec.cycle;
+        Ok(LaunchResult {
+            outcome,
+            stats,
+            mem: self.hier.stats(),
+        })
+    }
+}
+
+fn build_cbank0(cfg: &GpuConfig, kf: &LinkedFunction, dims: LaunchDims, params: &[u64]) -> Vec<u8> {
+    let mut img = vec![0u8; cbank0::PARAM_BASE as usize + 8 * params.len().max(1)];
+    let mut w32 = |off: u16, v: u32| {
+        img[off as usize..off as usize + 4].copy_from_slice(&v.to_le_bytes());
+    };
+    w32(cbank0::NTID_X, dims.block.0);
+    w32(cbank0::NTID_Y, dims.block.1);
+    w32(cbank0::NTID_Z, dims.block.2);
+    w32(cbank0::NCTAID_X, dims.grid.0);
+    w32(cbank0::NCTAID_Y, dims.grid.1);
+    w32(cbank0::NCTAID_Z, dims.grid.2);
+    w32(cbank0::LOCAL_SIZE, cfg.local_bytes_per_thread);
+    w32(cbank0::SHARED_SIZE, kf.meta.shared_bytes);
+    w32(cbank0::LOCAL_WINDOW, sassi_isa::GENERIC_LOCAL_TAG as u32);
+    w32(cbank0::SHARED_WINDOW, sassi_isa::GENERIC_SHARED_TAG as u32);
+    for (i, p) in params.iter().enumerate() {
+        let off = cbank0::PARAM_BASE as usize + 8 * i;
+        img[off..off + 8].copy_from_slice(&p.to_le_bytes());
+    }
+    img
+}
+
+struct Cta {
+    ctaid: (u32, u32, u32),
+    shared: Vec<u8>,
+    warps_total: u32,
+    warps_done: u32,
+    warps_at_barrier: u32,
+    sm: usize,
+}
+
+struct Exec<'a> {
+    cfg: &'a GpuConfig,
+    module: &'a Module,
+    kernel: &'a LinkedFunction,
+    dims: LaunchDims,
+    cbank: Vec<u8>,
+    mem: &'a mut DeviceMemory,
+    hier: &'a mut MemoryHierarchy,
+    runtime: &'a mut dyn HandlerRuntime,
+    launch_index: u64,
+    ctas: Vec<Cta>,
+    warps: Vec<Warp>,
+    sm_warps: Vec<Vec<usize>>,
+    sm_rr: Vec<usize>,
+    sm_load: Vec<u32>, // resident CTAs per SM
+    next_block: u32,
+    cycle: u64,
+    stats: LaunchStats,
+}
+
+impl Exec<'_> {
+    fn ctas_per_sm(&self) -> u32 {
+        let wpb = self.dims.warps_per_block();
+        let by_warps = self.cfg.max_warps_per_sm / wpb;
+        let shared = (self.kernel.meta.shared_bytes + 7) & !7;
+        let by_shared = if shared == 0 {
+            u32::MAX
+        } else {
+            self.cfg.shared_per_sm / shared
+        };
+        self.cfg.max_ctas_per_sm.min(by_warps).min(by_shared).max(1)
+    }
+
+    fn block_coords(&self, linear: u32) -> (u32, u32, u32) {
+        let (gx, gy, _) = self.dims.grid;
+        (linear % gx, (linear / gx) % gy, linear / (gx * gy))
+    }
+
+    fn issue_block(&mut self, sm: usize) {
+        if self.next_block >= self.dims.total_blocks() {
+            return;
+        }
+        let linear = self.next_block;
+        self.next_block += 1;
+        self.stats.blocks += 1;
+        let wpb = self.dims.warps_per_block();
+        let tpb = self.dims.threads_per_block();
+        let cta_idx = self.ctas.len();
+        self.ctas.push(Cta {
+            ctaid: self.block_coords(linear),
+            shared: vec![0; ((self.kernel.meta.shared_bytes + 7) & !7) as usize],
+            warps_total: wpb,
+            warps_done: 0,
+            warps_at_barrier: 0,
+            sm,
+        });
+        for w in 0..wpb {
+            let first = w * 32;
+            let count = tpb.saturating_sub(first).min(32);
+            let existing: LaneMask = if count == 32 {
+                u32::MAX
+            } else {
+                (1u32 << count) - 1
+            };
+            let warp = Warp::new(
+                cta_idx,
+                w,
+                self.kernel.entry,
+                existing,
+                self.cfg.regs_per_thread,
+                self.cfg.local_bytes_per_thread,
+            );
+            let wi = self.warps.len();
+            self.warps.push(warp);
+            self.sm_warps[sm].push(wi);
+        }
+        self.sm_load[sm] += 1;
+    }
+
+    fn run(&mut self, max_cycles: u64) -> KernelOutcome {
+        // Fill each SM to occupancy.
+        let target = self.ctas_per_sm();
+        for sm in 0..self.cfg.num_sms as usize {
+            for _ in 0..target {
+                self.issue_block(sm);
+            }
+        }
+
+        loop {
+            if self.cycle > max_cycles {
+                return KernelOutcome::Hang;
+            }
+            let mut issued = false;
+            let mut all_idle_until = u64::MAX;
+            let mut any_alive = false;
+            for sm in 0..self.cfg.num_sms as usize {
+                match self.pick(sm) {
+                    Pick::Warp(wi) => {
+                        issued = true;
+                        any_alive = true;
+                        if let Err(kind) = self.step(wi, sm) {
+                            return KernelOutcome::Fault(FaultInfo {
+                                kind,
+                                pc: self.warps[wi].pc,
+                                sm: sm as u32,
+                            });
+                        }
+                    }
+                    Pick::Stalled(until) => {
+                        any_alive = true;
+                        all_idle_until = all_idle_until.min(until);
+                    }
+                    Pick::Empty => {}
+                }
+            }
+            if !any_alive && self.next_block >= self.dims.total_blocks() {
+                return KernelOutcome::Completed;
+            }
+            if issued {
+                self.cycle += 1;
+            } else if all_idle_until != u64::MAX {
+                self.cycle = all_idle_until.max(self.cycle + 1);
+            } else {
+                // Warps alive but none ever becomes ready: barrier
+                // deadlock. Treat as a hang.
+                return KernelOutcome::Hang;
+            }
+        }
+    }
+
+    fn pick(&mut self, sm: usize) -> Pick {
+        // Retire finished warps lazily and pick round-robin.
+        let mut i = 0;
+        while i < self.sm_warps[sm].len() {
+            let wi = self.sm_warps[sm][i];
+            if self.warps[wi].status == WarpStatus::Done {
+                // Free the warp's storage and unlist it.
+                self.warps[wi].regs = Vec::new();
+                self.warps[wi].local = Vec::new();
+                self.sm_warps[sm].swap_remove(i);
+                let cta = self.warps[wi].cta;
+                self.ctas[cta].warps_done += 1;
+                self.maybe_release_barrier(cta);
+                if self.ctas[cta].warps_done == self.ctas[cta].warps_total {
+                    self.ctas[cta].shared = Vec::new();
+                    self.sm_load[sm] -= 1;
+                    self.issue_block(sm);
+                }
+                continue;
+            }
+            i += 1;
+        }
+        let list = &self.sm_warps[sm];
+        if list.is_empty() {
+            return Pick::Empty;
+        }
+        let n = list.len();
+        let start = self.sm_rr[sm] % n;
+        let mut min_ready = u64::MAX;
+        for k in 0..n {
+            let wi = list[(start + k) % n];
+            let w = &self.warps[wi];
+            if w.status == WarpStatus::Ready {
+                if w.ready_at <= self.cycle {
+                    self.sm_rr[sm] = (start + k + 1) % n;
+                    return Pick::Warp(wi);
+                }
+                min_ready = min_ready.min(w.ready_at);
+            }
+        }
+        if min_ready == u64::MAX {
+            // Everyone is at a barrier or done — barrier release happens
+            // on warp retirement/arrival; nothing to wait for timewise.
+            Pick::Stalled(self.cycle + 1)
+        } else {
+            Pick::Stalled(min_ready)
+        }
+    }
+
+    fn maybe_release_barrier(&mut self, cta_idx: usize) {
+        let cta = &self.ctas[cta_idx];
+        let waiting_target = cta.warps_total - cta.warps_done;
+        if cta.warps_at_barrier > 0 && cta.warps_at_barrier >= waiting_target {
+            self.ctas[cta_idx].warps_at_barrier = 0;
+            for list in &self.sm_warps {
+                for &wi in list {
+                    let w = &mut self.warps[wi];
+                    if w.cta == cta_idx && w.status == WarpStatus::AtBarrier {
+                        w.status = WarpStatus::Ready;
+                    }
+                }
+            }
+        }
+    }
+
+    fn const_read(&self, bank: u8, offset: u16) -> u32 {
+        if bank != 0 {
+            return 0;
+        }
+        let off = offset as usize;
+        if off + 4 > self.cbank.len() {
+            return 0;
+        }
+        u32::from_le_bytes(self.cbank[off..off + 4].try_into().unwrap())
+    }
+
+    fn src_val(&self, w: &Warp, lane: usize, s: &Src) -> u32 {
+        match s {
+            Src::Reg(r) => w.reg(lane, *r),
+            Src::Imm(v) => *v,
+            Src::Const(c) => self.const_read(c.bank, c.offset),
+        }
+    }
+
+    fn guard_mask(&self, w: &Warp, ins: &Instr) -> LaneMask {
+        if ins.guard.is_always() {
+            return w.active;
+        }
+        let mut m = 0u32;
+        for lane in w.active_lanes() {
+            let p = w.pred(lane, ins.guard.pred);
+            if p != ins.guard.neg {
+                m |= 1 << lane;
+            }
+        }
+        m
+    }
+
+    /// Executes one instruction of warp `wi`. Returns a fault kind on
+    /// abort.
+    fn step(&mut self, wi: usize, sm: usize) -> Result<(), FaultKind> {
+        let pc = self.warps[wi].pc;
+        if pc as usize >= self.module.code.len() {
+            return Err(FaultKind::InvalidPc { pc: pc as u64 });
+        }
+        let ins = self.module.code[pc as usize].clone();
+        let mask = self.guard_mask(&self.warps[wi], &ins);
+        self.stats.warp_instrs += 1;
+        self.stats.thread_instrs += mask.count_ones() as u64;
+
+        let mut lat: u64 = 2; // default ALU dependence latency
+        match &ins.op {
+            // ---- control flow ------------------------------------------------
+            Op::Ssy { target } => {
+                let t = target_pc(target)?;
+                let w = &mut self.warps[wi];
+                w.stack.push(crate::warp::StackEntry::Ssy {
+                    reconv: t,
+                    mask: w.active,
+                });
+                w.pc += 1;
+                finish(&mut self.warps[wi], self.cycle, 1);
+                return Ok(());
+            }
+            Op::Bra { target, .. } => {
+                let t = target_pc(target)?;
+                if (t as usize) > self.module.code.len() {
+                    return Err(FaultKind::InvalidPc { pc: t as u64 });
+                }
+                let w = &mut self.warps[wi];
+                if ins.is_guarded() {
+                    self.stats.cond_branches += 1;
+                }
+                if w.branch(t, mask) {
+                    self.stats.divergent_branches += 1;
+                }
+                finish(&mut self.warps[wi], self.cycle, 2);
+                return Ok(());
+            }
+            Op::Sync => {
+                let w = &mut self.warps[wi];
+                if ins.is_guarded() {
+                    // A predicated SYNC is a conditional control
+                    // transfer: lanes that pass the guard park, the
+                    // rest fall through.
+                    self.stats.cond_branches += 1;
+                    if mask != 0 && mask != w.active {
+                        self.stats.divergent_branches += 1;
+                    }
+                }
+                w.sync(mask);
+                finish(&mut self.warps[wi], self.cycle, 2);
+                return Ok(());
+            }
+            Op::Exit => {
+                let w = &mut self.warps[wi];
+                if ins.is_guarded() {
+                    self.stats.cond_branches += 1;
+                    if mask != 0 && mask != w.active {
+                        self.stats.divergent_branches += 1;
+                    }
+                }
+                w.exit_lanes(mask);
+                finish(&mut self.warps[wi], self.cycle, 1);
+                return Ok(());
+            }
+            Op::Jcal { target } => {
+                match target {
+                    Label::Pc(t) => {
+                        let w = &mut self.warps[wi];
+                        w.call_stack.push(w.pc + 1);
+                        w.pc = *t;
+                        lat = 4;
+                    }
+                    Label::Handler(id) => {
+                        let id = *id;
+                        self.stats.handler_calls += 1;
+                        let cost = {
+                            let warp = &mut self.warps[wi];
+                            let cta = &mut self.ctas[warp.cta];
+                            let mut ctx = TrapCtx {
+                                warp,
+                                shared: &mut cta.shared,
+                                mem: self.mem,
+                                ctaid: cta.ctaid,
+                                block_dim: self.dims.block,
+                                grid_dim: self.dims.grid,
+                                sm_id: sm as u32,
+                                cycle: self.cycle,
+                                kernel: &self.kernel.name,
+                                launch_index: self.launch_index,
+                            };
+                            self.runtime.handle(id, &mut ctx)
+                        };
+                        let cycles = cost.cycles();
+                        self.stats.handler_cycles += cycles;
+                        self.warps[wi].pc += 1;
+                        lat = 4 + cycles;
+                    }
+                    Label::Func(_) => return Err(FaultKind::InvalidPc { pc: pc as u64 }),
+                }
+                finish(&mut self.warps[wi], self.cycle, lat);
+                return Ok(());
+            }
+            Op::Ret => {
+                let w = &mut self.warps[wi];
+                match w.call_stack.pop() {
+                    Some(r) => w.pc = r,
+                    None => return Err(FaultKind::CallStackUnderflow),
+                }
+                finish(&mut self.warps[wi], self.cycle, 4);
+                return Ok(());
+            }
+            Op::BarSync => {
+                let cta_idx = self.warps[wi].cta;
+                {
+                    let w = &mut self.warps[wi];
+                    w.pc += 1;
+                    w.status = WarpStatus::AtBarrier;
+                    w.ready_at = self.cycle + 1;
+                }
+                self.ctas[cta_idx].warps_at_barrier += 1;
+                self.maybe_release_barrier(cta_idx);
+                return Ok(());
+            }
+
+            // ---- memory -----------------------------------------------------
+            Op::Ld { d, width, addr, .. } => {
+                self.mem_load(wi, sm, mask, *d, *width, addr, false)?;
+                self.warps[wi].pc += 1;
+                return Ok(());
+            }
+            Op::Tld { d, width, addr } => {
+                self.mem_load(wi, sm, mask, *d, *width, addr, true)?;
+                self.warps[wi].pc += 1;
+                return Ok(());
+            }
+            Op::St { v, width, addr, .. } => {
+                self.mem_store(wi, sm, mask, *v, *width, addr)?;
+                self.warps[wi].pc += 1;
+                return Ok(());
+            }
+            Op::Atom {
+                d,
+                op,
+                addr,
+                v,
+                v2,
+                wide,
+            } => {
+                self.mem_atomic(wi, sm, mask, Some(*d), *op, addr, *v, *v2, *wide)?;
+                self.warps[wi].pc += 1;
+                return Ok(());
+            }
+            Op::Red { op, addr, v, wide } => {
+                self.mem_atomic(wi, sm, mask, None, *op, addr, *v, None, *wide)?;
+                self.warps[wi].pc += 1;
+                return Ok(());
+            }
+            Op::MemBar => lat = 8,
+
+            // ---- warp-wide ---------------------------------------------------
+            Op::Vote {
+                mode,
+                d,
+                p_out,
+                src,
+                neg_src,
+            } => {
+                let w = &mut self.warps[wi];
+                let mut ballot: u32 = 0;
+                for lane in 0..32 {
+                    if mask & (1 << lane) != 0 {
+                        let v = w.pred(lane, *src) != *neg_src;
+                        if v {
+                            ballot |= 1 << lane;
+                        }
+                    }
+                }
+                let all = ballot & mask == mask && mask != 0;
+                let any = ballot != 0;
+                for lane in 0..32 {
+                    if mask & (1 << lane) != 0 {
+                        match mode {
+                            VoteMode::Ballot => w.set_reg(lane, *d, ballot),
+                            VoteMode::All => w.set_reg(lane, *d, all as u32),
+                            VoteMode::Any => w.set_reg(lane, *d, any as u32),
+                        }
+                        if let Some(p) = p_out {
+                            let v = match mode {
+                                VoteMode::All => all,
+                                VoteMode::Any => any,
+                                VoteMode::Ballot => ballot != 0,
+                            };
+                            w.set_pred(lane, *p, v);
+                        }
+                    }
+                }
+            }
+            Op::Shfl {
+                mode,
+                d,
+                a,
+                b,
+                c: _,
+                p_out,
+            } => {
+                let w = &mut self.warps[wi];
+                let snapshot: Vec<u32> = (0..32).map(|l| w.reg(l, *a)).collect();
+                for lane in 0..32usize {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let bv = self.src_val(&self.warps[wi], lane, b);
+                    let src_lane = match mode {
+                        ShflMode::Idx => (bv & 31) as usize,
+                        ShflMode::Up => lane.wrapping_sub(bv as usize),
+                        ShflMode::Down => lane + bv as usize,
+                        ShflMode::Bfly => lane ^ (bv as usize & 31),
+                    };
+                    let in_range = src_lane < 32 && (mask & (1 << src_lane)) != 0;
+                    let val = if in_range {
+                        snapshot[src_lane]
+                    } else {
+                        snapshot[lane]
+                    };
+                    let w = &mut self.warps[wi];
+                    w.set_reg(lane, *d, val);
+                    if let Some(p) = p_out {
+                        w.set_pred(lane, *p, in_range);
+                    }
+                }
+            }
+
+            // ---- per-lane ALU -------------------------------------------------
+            _ => {
+                self.alu(wi, &ins, mask);
+                lat = alu_latency(&ins.op);
+            }
+        }
+        let w = &mut self.warps[wi];
+        w.pc += 1;
+        finish(w, self.cycle, lat);
+        Ok(())
+    }
+
+    /// Per-lane ALU execution for all remaining opcodes.
+    fn alu(&mut self, wi: usize, ins: &Instr, mask: LaneMask) {
+        for lane in 0..32usize {
+            if mask & (1 << lane) == 0 {
+                continue;
+            }
+            // Read phase (immutable).
+            let w = &self.warps[wi];
+            enum Out {
+                R(Gpr, u32),
+                P(sassi_isa::PredReg, bool),
+                RCc(Gpr, u32, bool),
+                Preds(u8),
+                None,
+            }
+            let out = match &ins.op {
+                Op::Mov { d, a } => Out::R(*d, self.src_val(w, lane, a)),
+                Op::Mov32I { d, imm } => Out::R(*d, *imm),
+                Op::S2R { d, sr } => Out::R(*d, self.special(w, lane, *sr)),
+                Op::IAdd { d, a, b, x, cc } => {
+                    let av = w.reg(lane, *a) as u64;
+                    let bv = self.src_val(w, lane, b) as u64;
+                    let cin = if *x { w.cc[lane] as u64 } else { 0 };
+                    let sum = av + bv + cin;
+                    if *cc {
+                        Out::RCc(*d, sum as u32, sum >> 32 != 0)
+                    } else {
+                        Out::R(*d, sum as u32)
+                    }
+                }
+                Op::ISub { d, a, b } => {
+                    Out::R(*d, w.reg(lane, *a).wrapping_sub(self.src_val(w, lane, b)))
+                }
+                Op::IMul {
+                    d,
+                    a,
+                    b,
+                    signed,
+                    hi,
+                } => {
+                    let av = w.reg(lane, *a);
+                    let bv = self.src_val(w, lane, b);
+                    let v = if *signed {
+                        let p = (av as i32 as i64) * (bv as i32 as i64);
+                        if *hi {
+                            (p >> 32) as u32
+                        } else {
+                            p as u32
+                        }
+                    } else {
+                        let p = (av as u64) * (bv as u64);
+                        if *hi {
+                            (p >> 32) as u32
+                        } else {
+                            p as u32
+                        }
+                    };
+                    Out::R(*d, v)
+                }
+                Op::IMad { d, a, b, c } => {
+                    let v = w
+                        .reg(lane, *a)
+                        .wrapping_mul(self.src_val(w, lane, b))
+                        .wrapping_add(w.reg(lane, *c));
+                    Out::R(*d, v)
+                }
+                Op::IScAdd { d, a, b, shift } => {
+                    let v = (w.reg(lane, *a) << shift).wrapping_add(self.src_val(w, lane, b));
+                    Out::R(*d, v)
+                }
+                Op::IMnMx {
+                    d,
+                    a,
+                    b,
+                    min,
+                    signed,
+                } => {
+                    let av = w.reg(lane, *a);
+                    let bv = self.src_val(w, lane, b);
+                    let v = match (signed, min) {
+                        (true, true) => (av as i32).min(bv as i32) as u32,
+                        (true, false) => (av as i32).max(bv as i32) as u32,
+                        (false, true) => av.min(bv),
+                        (false, false) => av.max(bv),
+                    };
+                    Out::R(*d, v)
+                }
+                Op::Shl { d, a, b } => {
+                    let s = self.src_val(w, lane, b);
+                    let v = if s >= 32 { 0 } else { w.reg(lane, *a) << s };
+                    Out::R(*d, v)
+                }
+                Op::Shr { d, a, b, signed } => {
+                    let s = self.src_val(w, lane, b);
+                    let av = w.reg(lane, *a);
+                    let v = if *signed {
+                        if s >= 32 {
+                            ((av as i32) >> 31) as u32
+                        } else {
+                            ((av as i32) >> s) as u32
+                        }
+                    } else if s >= 32 {
+                        0
+                    } else {
+                        av >> s
+                    };
+                    Out::R(*d, v)
+                }
+                Op::Lop { d, op, a, b, inv_b } => {
+                    let av = w.reg(lane, *a);
+                    let mut bv = self.src_val(w, lane, b);
+                    if *inv_b {
+                        bv = !bv;
+                    }
+                    Out::R(*d, op.eval(av, bv))
+                }
+                Op::Popc { d, a } => Out::R(*d, w.reg(lane, *a).count_ones()),
+                Op::Flo { d, a } => {
+                    let av = w.reg(lane, *a);
+                    Out::R(
+                        *d,
+                        if av == 0 {
+                            u32::MAX
+                        } else {
+                            31 - av.leading_zeros()
+                        },
+                    )
+                }
+                Op::Brev { d, a } => Out::R(*d, w.reg(lane, *a).reverse_bits()),
+                Op::Sel { d, a, b, p, neg_p } => {
+                    let take_a = w.pred(lane, *p) != *neg_p;
+                    let v = if take_a {
+                        w.reg(lane, *a)
+                    } else {
+                        self.src_val(w, lane, b)
+                    };
+                    Out::R(*d, v)
+                }
+                Op::FAdd {
+                    d,
+                    a,
+                    b,
+                    neg_a,
+                    neg_b,
+                } => {
+                    let mut av = f32::from_bits(w.reg(lane, *a));
+                    let mut bv = f32::from_bits(self.src_val(w, lane, b));
+                    if *neg_a {
+                        av = -av;
+                    }
+                    if *neg_b {
+                        bv = -bv;
+                    }
+                    Out::R(*d, (av + bv).to_bits())
+                }
+                Op::FMul { d, a, b } => {
+                    let av = f32::from_bits(w.reg(lane, *a));
+                    let bv = f32::from_bits(self.src_val(w, lane, b));
+                    Out::R(*d, (av * bv).to_bits())
+                }
+                Op::FFma {
+                    d,
+                    a,
+                    b,
+                    c,
+                    neg_b,
+                    neg_c,
+                } => {
+                    let av = f32::from_bits(w.reg(lane, *a));
+                    let mut bv = f32::from_bits(self.src_val(w, lane, b));
+                    let mut cv = f32::from_bits(w.reg(lane, *c));
+                    if *neg_b {
+                        bv = -bv;
+                    }
+                    if *neg_c {
+                        cv = -cv;
+                    }
+                    Out::R(*d, av.mul_add(bv, cv).to_bits())
+                }
+                Op::FMnMx { d, a, b, min } => {
+                    let av = f32::from_bits(w.reg(lane, *a));
+                    let bv = f32::from_bits(self.src_val(w, lane, b));
+                    let v = if *min { av.min(bv) } else { av.max(bv) };
+                    Out::R(*d, v.to_bits())
+                }
+                Op::Mufu { d, func, a } => {
+                    let av = f32::from_bits(w.reg(lane, *a));
+                    Out::R(*d, func.eval(av).to_bits())
+                }
+                Op::I2F { d, a, .. } => Out::R(*d, (w.reg(lane, *a) as i32 as f32).to_bits()),
+                Op::F2I { d, a, .. } => Out::R(*d, f32::from_bits(w.reg(lane, *a)) as i32 as u32),
+                Op::ISetP {
+                    p,
+                    cmp,
+                    a,
+                    b,
+                    signed,
+                    combine,
+                } => {
+                    let av = w.reg(lane, *a);
+                    let bv = self.src_val(w, lane, b);
+                    let base = if *signed {
+                        cmp.eval_i64(av as i32 as i64, bv as i32 as i64)
+                    } else {
+                        cmp.eval_i64(av as i64, bv as i64)
+                    };
+                    let v = match combine {
+                        None => base,
+                        Some((cp, neg)) => base && (w.pred(lane, *cp) != *neg),
+                    };
+                    Out::P(*p, v)
+                }
+                Op::FSetP { p, cmp, a, b } => {
+                    let av = f32::from_bits(w.reg(lane, *a));
+                    let bv = f32::from_bits(self.src_val(w, lane, b));
+                    Out::P(*p, cmp.eval_f32(av, bv))
+                }
+                Op::PSetP {
+                    p,
+                    op,
+                    a,
+                    b,
+                    neg_a,
+                    neg_b,
+                } => {
+                    let av = w.pred(lane, *a) != *neg_a;
+                    let bv = w.pred(lane, *b) != *neg_b;
+                    let v = match op {
+                        LogicOp::And => av && bv,
+                        LogicOp::Or => av || bv,
+                        LogicOp::Xor => av != bv,
+                        LogicOp::PassB => bv,
+                    };
+                    Out::P(*p, v)
+                }
+                Op::P2R { d } => Out::R(*d, w.preds[lane] as u32 & 0x7f),
+                Op::R2P { a } => Out::Preds((w.reg(lane, *a) & 0x7f) as u8),
+                Op::Nop => Out::None,
+                // Handled in `step`.
+                _ => Out::None,
+            };
+            // Write phase.
+            let w = &mut self.warps[wi];
+            match out {
+                Out::R(d, v) => w.set_reg(lane, d, v),
+                Out::P(p, v) => w.set_pred(lane, p, v),
+                Out::RCc(d, v, c) => {
+                    w.set_reg(lane, d, v);
+                    w.cc[lane] = c;
+                }
+                Out::Preds(bits) => w.preds[lane] = bits,
+                Out::None => {}
+            }
+        }
+    }
+
+    fn special(&self, w: &Warp, lane: usize, sr: SpecialReg) -> u32 {
+        let cta = &self.ctas[w.cta];
+        let linear = w.warp_in_cta * 32 + lane as u32;
+        let (bx, by, _) = self.dims.block;
+        match sr {
+            SpecialReg::TidX => linear % bx,
+            SpecialReg::TidY => (linear / bx) % by,
+            SpecialReg::TidZ => linear / (bx * by),
+            SpecialReg::CtaIdX => cta.ctaid.0,
+            SpecialReg::CtaIdY => cta.ctaid.1,
+            SpecialReg::CtaIdZ => cta.ctaid.2,
+            SpecialReg::NTidX => self.dims.block.0,
+            SpecialReg::NTidY => self.dims.block.1,
+            SpecialReg::NTidZ => self.dims.block.2,
+            SpecialReg::NCtaIdX => self.dims.grid.0,
+            SpecialReg::NCtaIdY => self.dims.grid.1,
+            SpecialReg::NCtaIdZ => self.dims.grid.2,
+            SpecialReg::LaneId => lane as u32,
+            SpecialReg::WarpId => w.warp_in_cta,
+            SpecialReg::SmId => cta.sm as u32,
+            SpecialReg::ClockLo => self.cycle as u32,
+            SpecialReg::ClockHi => (self.cycle >> 32) as u32,
+            SpecialReg::LaneMaskLt => (1u32 << lane) - 1,
+            SpecialReg::ActiveMask => w.active,
+        }
+    }
+
+    // ---- memory helpers ----------------------------------------------------
+
+    /// Resolves a lane's effective address for `addr`; returns
+    /// (space, resolved byte offset/address).
+    fn lane_addr(
+        &self,
+        w: &Warp,
+        lane: usize,
+        addr: &MemAddr,
+    ) -> Result<(AddrSpace, u64), FaultKind> {
+        match addr.space {
+            AddrSpace::Local => {
+                let base = w.reg(lane, addr.base);
+                let a = base.wrapping_add(addr.offset as u32) as u64;
+                Ok((AddrSpace::Local, a))
+            }
+            AddrSpace::Shared => {
+                let base = w.reg(lane, addr.base);
+                Ok((
+                    AddrSpace::Shared,
+                    base.wrapping_add(addr.offset as u32) as u64,
+                ))
+            }
+            AddrSpace::Global => {
+                let a = w
+                    .reg64(lane, addr.base)
+                    .wrapping_add(addr.offset as i64 as u64);
+                Ok((AddrSpace::Global, a))
+            }
+            AddrSpace::Generic => {
+                let a = w
+                    .reg64(lane, addr.base)
+                    .wrapping_add(addr.offset as i64 as u64);
+                match resolve_generic(a) {
+                    Some((s, off)) => Ok((s, off)),
+                    None => Err(FaultKind::MemViolation { addr: a }),
+                }
+            }
+        }
+    }
+
+    fn mem_load(
+        &mut self,
+        wi: usize,
+        sm: usize,
+        mask: LaneMask,
+        d: Gpr,
+        width: MemWidth,
+        addr: &MemAddr,
+        _texture: bool,
+    ) -> Result<(), FaultKind> {
+        let bytes = width.bytes();
+        let mut global_addrs: Vec<u64> = Vec::new();
+        let mut has_local = false;
+        let mut has_shared = false;
+        for lane in 0..32usize {
+            if mask & (1 << lane) == 0 {
+                continue;
+            }
+            let (space, a) = self.lane_addr(&self.warps[wi], lane, addr)?;
+            let data: [u8; 16] = match space {
+                AddrSpace::Local => {
+                    has_local = true;
+                    let w = &self.warps[wi];
+                    let slab = w.lane_local(lane);
+                    let off = a as usize;
+                    if off + bytes as usize > slab.len() {
+                        return Err(FaultKind::StackViolation { offset: a });
+                    }
+                    let mut buf = [0u8; 16];
+                    buf[..bytes as usize].copy_from_slice(&slab[off..off + bytes as usize]);
+                    buf
+                }
+                AddrSpace::Shared => {
+                    has_shared = true;
+                    let cta = &self.ctas[self.warps[wi].cta];
+                    let off = a as usize;
+                    if off + bytes as usize > cta.shared.len() {
+                        return Err(FaultKind::SharedViolation { offset: a });
+                    }
+                    let mut buf = [0u8; 16];
+                    buf[..bytes as usize].copy_from_slice(&cta.shared[off..off + bytes as usize]);
+                    buf
+                }
+                AddrSpace::Global | AddrSpace::Generic => {
+                    global_addrs.push(a);
+                    let got = self.mem.read_bytes(a, bytes).map_err(mem_fault)?;
+                    let mut buf = [0u8; 16];
+                    buf[..bytes as usize].copy_from_slice(got);
+                    buf
+                }
+            };
+            let w = &mut self.warps[wi];
+            write_load_result(w, lane, d, width, &data);
+        }
+        let lat = self.mem_latency(sm, &global_addrs, bytes, false, has_local, has_shared);
+        finish(&mut self.warps[wi], self.cycle, lat);
+        Ok(())
+    }
+
+    fn mem_store(
+        &mut self,
+        wi: usize,
+        sm: usize,
+        mask: LaneMask,
+        v: Gpr,
+        width: MemWidth,
+        addr: &MemAddr,
+    ) -> Result<(), FaultKind> {
+        let bytes = width.bytes();
+        let mut global_addrs: Vec<u64> = Vec::new();
+        let mut has_local = false;
+        let mut has_shared = false;
+        for lane in 0..32usize {
+            if mask & (1 << lane) == 0 {
+                continue;
+            }
+            let (space, a) = self.lane_addr(&self.warps[wi], lane, addr)?;
+            let mut buf = [0u8; 16];
+            {
+                let w = &self.warps[wi];
+                for k in 0..width.regs() {
+                    let val = w.reg(lane, Gpr::new(v.index() + k));
+                    buf[4 * k as usize..4 * k as usize + 4].copy_from_slice(&val.to_le_bytes());
+                }
+                // Sub-word stores truncate the low register.
+                if bytes < 4 {
+                    let val = w.reg(lane, v);
+                    buf[..bytes as usize].copy_from_slice(&val.to_le_bytes()[..bytes as usize]);
+                }
+            }
+            match space {
+                AddrSpace::Local => {
+                    has_local = true;
+                    let w = &mut self.warps[wi];
+                    let off = a as usize;
+                    let slab = w.lane_local_mut(lane);
+                    if off + bytes as usize > slab.len() {
+                        return Err(FaultKind::StackViolation { offset: a });
+                    }
+                    slab[off..off + bytes as usize].copy_from_slice(&buf[..bytes as usize]);
+                }
+                AddrSpace::Shared => {
+                    has_shared = true;
+                    let cta = &mut self.ctas[self.warps[wi].cta];
+                    let off = a as usize;
+                    if off + bytes as usize > cta.shared.len() {
+                        return Err(FaultKind::SharedViolation { offset: a });
+                    }
+                    cta.shared[off..off + bytes as usize].copy_from_slice(&buf[..bytes as usize]);
+                }
+                AddrSpace::Global | AddrSpace::Generic => {
+                    global_addrs.push(a);
+                    self.mem
+                        .write_bytes(a, &buf[..bytes as usize])
+                        .map_err(mem_fault)?;
+                }
+            }
+        }
+        let lat = self.mem_latency(sm, &global_addrs, bytes, true, has_local, has_shared);
+        finish(&mut self.warps[wi], self.cycle, lat);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mem_atomic(
+        &mut self,
+        wi: usize,
+        sm: usize,
+        mask: LaneMask,
+        d: Option<Gpr>,
+        op: AtomOp,
+        addr: &MemAddr,
+        v: Gpr,
+        v2: Option<Gpr>,
+        wide: bool,
+    ) -> Result<(), FaultKind> {
+        let mut global_addrs: Vec<u64> = Vec::new();
+        for lane in 0..32usize {
+            if mask & (1 << lane) == 0 {
+                continue;
+            }
+            let (space, a) = self.lane_addr(&self.warps[wi], lane, addr)?;
+            let (operand, operand2) = {
+                let w = &self.warps[wi];
+                let x = if wide {
+                    w.reg64(lane, v)
+                } else {
+                    w.reg(lane, v) as u64
+                };
+                let y = match v2 {
+                    Some(r) => {
+                        if wide {
+                            w.reg64(lane, r)
+                        } else {
+                            w.reg(lane, r) as u64
+                        }
+                    }
+                    None => 0,
+                };
+                (x, y)
+            };
+            let old = match space {
+                AddrSpace::Global | AddrSpace::Generic => {
+                    global_addrs.push(a);
+                    let old = if wide {
+                        self.mem.read_u64(a).map_err(mem_fault)?
+                    } else {
+                        self.mem.read_u32(a).map_err(mem_fault)? as u64
+                    };
+                    let new = apply_atom(op, old, operand, operand2, wide);
+                    if wide {
+                        self.mem.write_u64(a, new).map_err(mem_fault)?;
+                    } else {
+                        self.mem.write_u32(a, new as u32).map_err(mem_fault)?;
+                    }
+                    old
+                }
+                AddrSpace::Shared => {
+                    let cta = &mut self.ctas[self.warps[wi].cta];
+                    let off = a as usize;
+                    let size = if wide { 8 } else { 4 };
+                    if off + size > cta.shared.len() {
+                        return Err(FaultKind::SharedViolation { offset: a });
+                    }
+                    let old = if wide {
+                        u64::from_le_bytes(cta.shared[off..off + 8].try_into().unwrap())
+                    } else {
+                        u32::from_le_bytes(cta.shared[off..off + 4].try_into().unwrap()) as u64
+                    };
+                    let new = apply_atom(op, old, operand, operand2, wide);
+                    if wide {
+                        cta.shared[off..off + 8].copy_from_slice(&new.to_le_bytes());
+                    } else {
+                        cta.shared[off..off + 4].copy_from_slice(&(new as u32).to_le_bytes());
+                    }
+                    old
+                }
+                AddrSpace::Local => return Err(FaultKind::MemViolation { addr: a }),
+            };
+            if let Some(d) = d {
+                let w = &mut self.warps[wi];
+                if wide {
+                    w.set_reg64(lane, d, old);
+                } else {
+                    w.set_reg(lane, d, old as u32);
+                }
+            }
+        }
+        let width = if wide { 8 } else { 4 };
+        let mut lat = self.mem_latency(
+            sm,
+            &global_addrs,
+            width,
+            true,
+            false,
+            global_addrs.is_empty(),
+        );
+        lat += 16; // read-modify-write turnaround
+        finish(&mut self.warps[wi], self.cycle, lat);
+        Ok(())
+    }
+
+    fn mem_latency(
+        &mut self,
+        sm: usize,
+        global_addrs: &[u64],
+        width: u32,
+        write: bool,
+        has_local: bool,
+        has_shared: bool,
+    ) -> u64 {
+        let mut lat = 2u64;
+        if !global_addrs.is_empty() {
+            let out = self
+                .hier
+                .access_global(sm, self.cycle, global_addrs, width, write);
+            lat = lat.max(out.ready_at.saturating_sub(self.cycle));
+        }
+        if has_local {
+            lat = lat.max(self.hier.local_latency());
+        }
+        if has_shared {
+            lat = lat.max(self.hier.shared_latency());
+        }
+        lat
+    }
+}
+
+enum Pick {
+    Warp(usize),
+    Stalled(u64),
+    Empty,
+}
+
+fn finish(w: &mut Warp, cycle: u64, lat: u64) {
+    w.ready_at = cycle + lat.max(1);
+}
+
+fn target_pc(l: &Label) -> Result<u32, FaultKind> {
+    match l {
+        Label::Pc(t) => Ok(*t),
+        _ => Err(FaultKind::InvalidPc { pc: u64::MAX }),
+    }
+}
+
+fn mem_fault(e: MemError) -> FaultKind {
+    match e {
+        MemError::OutOfBounds { addr } => FaultKind::MemViolation { addr },
+        MemError::Misaligned { addr, .. } => FaultKind::Misaligned { addr },
+        MemError::OutOfMemory => FaultKind::MemViolation { addr: 0 },
+    }
+}
+
+fn write_load_result(w: &mut Warp, lane: usize, d: Gpr, width: MemWidth, data: &[u8; 16]) {
+    match width {
+        MemWidth::U8 => w.set_reg(lane, d, data[0] as u32),
+        MemWidth::S8 => w.set_reg(lane, d, data[0] as i8 as i32 as u32),
+        MemWidth::U16 => w.set_reg(lane, d, u16::from_le_bytes([data[0], data[1]]) as u32),
+        MemWidth::S16 => w.set_reg(
+            lane,
+            d,
+            i16::from_le_bytes([data[0], data[1]]) as i32 as u32,
+        ),
+        MemWidth::B32 => w.set_reg(lane, d, u32::from_le_bytes(data[..4].try_into().unwrap())),
+        MemWidth::B64 | MemWidth::B128 => {
+            for k in 0..width.regs() {
+                let off = 4 * k as usize;
+                let v = u32::from_le_bytes(data[off..off + 4].try_into().unwrap());
+                w.set_reg(lane, Gpr::new(d.index() + k), v);
+            }
+        }
+    }
+}
+
+fn apply_atom(op: AtomOp, old: u64, v: u64, v2: u64, wide: bool) -> u64 {
+    let m = if wide { u64::MAX } else { u32::MAX as u64 };
+    let r = match op {
+        AtomOp::Add => old.wrapping_add(v),
+        AtomOp::Min => old.min(v),
+        AtomOp::Max => old.max(v),
+        AtomOp::And => old & v,
+        AtomOp::Or => old | v,
+        AtomOp::Xor => old ^ v,
+        AtomOp::Exch => v,
+        AtomOp::Cas => {
+            if old == v {
+                v2
+            } else {
+                old
+            }
+        }
+    };
+    r & m
+}
+
+fn alu_latency(op: &Op) -> u64 {
+    match op {
+        Op::Mufu { .. } => 8,
+        Op::IMul { .. } | Op::IMad { .. } => 4,
+        Op::I2F { .. } | Op::F2I { .. } => 4,
+        _ => 2,
+    }
+}
+
+/// Evaluates a comparison used by tests.
+#[doc(hidden)]
+pub fn _cmp_eval(cmp: CmpOp, a: i64, b: i64) -> bool {
+    cmp.eval_i64(a, b)
+}

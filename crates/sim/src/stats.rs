@@ -1,0 +1,158 @@
+//! Launch outcomes and statistics.
+
+use sassi_mem::HierarchyStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of fault that aborted a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Global-memory access outside every allocation, or through the
+    /// null/guard pages of the generic address space.
+    MemViolation {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Misaligned access.
+    Misaligned {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Local (stack) access outside the thread's slab.
+    StackViolation {
+        /// Faulting local offset.
+        offset: u64,
+    },
+    /// Shared-memory access outside the block's segment.
+    SharedViolation {
+        /// Faulting shared offset.
+        offset: u64,
+    },
+    /// Control transfer outside the module's code.
+    InvalidPc {
+        /// Faulting pc.
+        pc: u64,
+    },
+    /// `RET` with an empty call stack.
+    CallStackUnderflow,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::MemViolation { addr } => {
+                write!(f, "illegal global memory access at {addr:#x}")
+            }
+            FaultKind::Misaligned { addr } => write!(f, "misaligned address {addr:#x}"),
+            FaultKind::StackViolation { offset } => {
+                write!(f, "local memory access out of stack at {offset:#x}")
+            }
+            FaultKind::SharedViolation { offset } => {
+                write!(f, "shared memory access out of segment at {offset:#x}")
+            }
+            FaultKind::InvalidPc { pc } => write!(f, "control transfer to invalid pc {pc}"),
+            FaultKind::CallStackUnderflow => write!(f, "return with empty call stack"),
+        }
+    }
+}
+
+/// Where a fault happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultInfo {
+    /// What happened.
+    pub kind: FaultKind,
+    /// Program counter of the faulting instruction.
+    pub pc: u32,
+    /// SM executing the faulting warp.
+    pub sm: u32,
+}
+
+impl fmt::Display for FaultInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (pc {}, SM {})", self.kind, self.pc, self.sm)
+    }
+}
+
+/// How a kernel launch ended.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum KernelOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Aborted on a fault (the CUDA "unspecified launch failure" /
+    /// sticky-error analogue).
+    Fault(FaultInfo),
+    /// Exceeded the watchdog cycle budget.
+    Hang,
+}
+
+impl KernelOutcome {
+    /// Whether the kernel completed normally.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, KernelOutcome::Completed)
+    }
+}
+
+/// Statistics of one kernel launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// Total SM cycles from launch to last warp retirement.
+    pub cycles: u64,
+    /// Warp-level instructions issued.
+    pub warp_instrs: u64,
+    /// Thread-level instructions executed (sum of guard-passing active
+    /// lanes over issued instructions).
+    pub thread_instrs: u64,
+    /// Conditional branches that split a warp.
+    pub divergent_branches: u64,
+    /// Conditional branches executed (warp-level).
+    pub cond_branches: u64,
+    /// Traps into native instrumentation handlers.
+    pub handler_calls: u64,
+    /// Cycles charged to native handler bodies.
+    pub handler_cycles: u64,
+    /// Blocks executed.
+    pub blocks: u64,
+}
+
+/// The result of a launch: outcome, counters and the memory hierarchy's
+/// view of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LaunchResult {
+    /// How the launch ended.
+    pub outcome: KernelOutcome,
+    /// Core counters.
+    pub stats: LaunchStats,
+    /// Memory-system counters accumulated during this launch.
+    pub mem: HierarchyStats,
+}
+
+impl LaunchResult {
+    /// Whether the kernel completed normally.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_queries() {
+        assert!(KernelOutcome::Completed.is_ok());
+        assert!(!KernelOutcome::Hang.is_ok());
+        let f = FaultInfo {
+            kind: FaultKind::CallStackUnderflow,
+            pc: 3,
+            sm: 1,
+        };
+        assert!(!KernelOutcome::Fault(f).is_ok());
+        assert!(f.to_string().contains("pc 3"));
+    }
+
+    #[test]
+    fn fault_display() {
+        let k = FaultKind::MemViolation { addr: 0x10 };
+        assert!(k.to_string().contains("0x10"));
+    }
+}

@@ -1,0 +1,417 @@
+//! Warp state: the SIMT divergence stack, per-lane register file slice,
+//! call stack and scheduling status.
+//!
+//! The divergence model follows NVIDIA's stack-based reconvergence
+//! (paper §5): `SSY` pushes a reconvergence token; a divergent branch
+//! defers one path on the stack; `SYNC` parks the executing lanes and,
+//! once the active set drains, pops deferred paths and finally the
+//! reconvergence token, resuming all surviving lanes at the
+//! reconvergence point.
+
+use sassi_isa::{Gpr, LaneMask, PredReg};
+
+/// One divergence-stack entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackEntry {
+    /// Reconvergence token pushed by `SSY`.
+    Ssy {
+        /// Reconvergence pc.
+        reconv: u32,
+        /// Lanes to resume there.
+        mask: LaneMask,
+    },
+    /// A deferred branch path.
+    Div {
+        /// Where the deferred lanes resume.
+        pc: u32,
+        /// The deferred lanes.
+        mask: LaneMask,
+    },
+}
+
+/// Why a warp is not currently issuing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarpStatus {
+    /// Issuable once `ready_at` passes.
+    Ready,
+    /// Waiting at a block barrier.
+    AtBarrier,
+    /// All lanes exited.
+    Done,
+}
+
+/// The architectural and scheduling state of one warp.
+#[derive(Clone, Debug)]
+pub struct Warp {
+    /// Index of the resident CTA this warp belongs to.
+    pub cta: usize,
+    /// Warp index within its CTA.
+    pub warp_in_cta: u32,
+    /// Current program counter (flat module code space).
+    pub pc: u32,
+    /// Currently active lanes.
+    pub active: LaneMask,
+    /// Lanes that exist in this warp (partial last warp of a block).
+    pub existing: LaneMask,
+    /// Lanes that have executed `EXIT`.
+    pub exited: LaneMask,
+    /// Divergence stack.
+    pub stack: Vec<StackEntry>,
+    /// Warp-synchronous call stack of return pcs.
+    pub call_stack: Vec<u32>,
+    /// Earliest cycle at which the warp may issue.
+    pub ready_at: u64,
+    /// Scheduling status.
+    pub status: WarpStatus,
+    /// Per-lane 32-bit registers, `lane * regs_per_thread + r`.
+    pub regs: Vec<u32>,
+    /// Per-lane predicate files (bits 0..6 = P0..P6).
+    pub preds: [u8; 32],
+    /// Per-lane carry flags.
+    pub cc: [bool; 32],
+    /// Per-lane local-memory slabs, concatenated.
+    pub local: Vec<u8>,
+    regs_per_thread: u32,
+    local_bytes: u32,
+}
+
+impl Warp {
+    /// Creates a warp with `existing` lanes at `entry`.
+    pub fn new(
+        cta: usize,
+        warp_in_cta: u32,
+        entry: u32,
+        existing: LaneMask,
+        regs_per_thread: u32,
+        local_bytes: u32,
+    ) -> Warp {
+        let mut w = Warp {
+            cta,
+            warp_in_cta,
+            pc: entry,
+            active: existing,
+            existing,
+            exited: 0,
+            stack: Vec::new(),
+            call_stack: Vec::new(),
+            ready_at: 0,
+            status: WarpStatus::Ready,
+            regs: vec![0; 32 * regs_per_thread as usize],
+            preds: [0; 32],
+            cc: [false; 32],
+            local: vec![0; 32 * local_bytes as usize],
+            regs_per_thread,
+            local_bytes,
+        };
+        // ABI: R1 is the stack pointer, initialized to the top of the
+        // thread's local slab (stack grows down).
+        for lane in 0..32 {
+            w.set_reg(lane, Gpr::SP, local_bytes);
+        }
+        w
+    }
+
+    /// Registers provisioned per thread.
+    pub fn regs_per_thread(&self) -> u32 {
+        self.regs_per_thread
+    }
+
+    /// Bytes of local slab per thread.
+    pub fn local_bytes(&self) -> u32 {
+        self.local_bytes
+    }
+
+    /// Reads lane `lane`'s register `r` (`RZ` reads zero).
+    pub fn reg(&self, lane: usize, r: Gpr) -> u32 {
+        if r.is_rz() {
+            return 0;
+        }
+        debug_assert!(
+            (r.index() as u32) < self.regs_per_thread,
+            "R{} unprovisioned",
+            r.index()
+        );
+        self.regs[lane * self.regs_per_thread as usize + r.index() as usize]
+    }
+
+    /// Writes lane `lane`'s register `r` (writes to `RZ` are dropped).
+    pub fn set_reg(&mut self, lane: usize, r: Gpr, v: u32) {
+        if r.is_rz() {
+            return;
+        }
+        debug_assert!(
+            (r.index() as u32) < self.regs_per_thread,
+            "R{} unprovisioned",
+            r.index()
+        );
+        self.regs[lane * self.regs_per_thread as usize + r.index() as usize] = v;
+    }
+
+    /// Reads a register pair as a 64-bit value.
+    pub fn reg64(&self, lane: usize, r: Gpr) -> u64 {
+        if r.is_rz() {
+            return 0;
+        }
+        (self.reg(lane, r) as u64) | ((self.reg(lane, r.pair_hi()) as u64) << 32)
+    }
+
+    /// Writes a register pair from a 64-bit value.
+    pub fn set_reg64(&mut self, lane: usize, r: Gpr, v: u64) {
+        self.set_reg(lane, r, v as u32);
+        self.set_reg(lane, r.pair_hi(), (v >> 32) as u32);
+    }
+
+    /// Reads lane `lane`'s predicate `p` (`PT` reads true).
+    pub fn pred(&self, lane: usize, p: PredReg) -> bool {
+        p.is_pt() || self.preds[lane] & (1 << p.index()) != 0
+    }
+
+    /// Writes lane `lane`'s predicate `p` (writes to `PT` are dropped).
+    pub fn set_pred(&mut self, lane: usize, p: PredReg, v: bool) {
+        if p.is_pt() {
+            return;
+        }
+        if v {
+            self.preds[lane] |= 1 << p.index();
+        } else {
+            self.preds[lane] &= !(1 << p.index());
+        }
+    }
+
+    /// The local slab of one lane.
+    pub fn lane_local(&self, lane: usize) -> &[u8] {
+        let b = self.local_bytes as usize;
+        &self.local[lane * b..(lane + 1) * b]
+    }
+
+    /// The local slab of one lane, mutably.
+    pub fn lane_local_mut(&mut self, lane: usize) -> &mut [u8] {
+        let b = self.local_bytes as usize;
+        &mut self.local[lane * b..(lane + 1) * b]
+    }
+
+    /// Iterates the active lane indices.
+    pub fn active_lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        let m = self.active;
+        (0..32usize).filter(move |l| m & (1 << l) != 0)
+    }
+
+    /// Lowest active lane, if any — the "first active thread" handlers
+    /// elect with `__ffs(__ballot(1))-1`.
+    pub fn leader(&self) -> Option<usize> {
+        if self.active == 0 {
+            None
+        } else {
+            Some(self.active.trailing_zeros() as usize)
+        }
+    }
+
+    // ---- divergence-stack transitions -----------------------------------
+
+    /// Executes `SSY target`.
+    pub fn push_ssy(&mut self, reconv: u32) {
+        self.stack.push(StackEntry::Ssy {
+            reconv,
+            mask: self.active,
+        });
+        self.pc += 1;
+    }
+
+    /// Executes a branch: `taken` lanes (subset of active) go to
+    /// `target`, the rest fall through. Returns whether the branch
+    /// diverged (both sides non-empty).
+    pub fn branch(&mut self, target: u32, taken: LaneMask) -> bool {
+        let taken = taken & self.active;
+        let not_taken = self.active & !taken;
+        if taken == 0 {
+            self.pc += 1;
+            false
+        } else if not_taken == 0 {
+            self.pc = target;
+            false
+        } else {
+            self.stack.push(StackEntry::Div {
+                pc: self.pc + 1,
+                mask: not_taken,
+            });
+            self.active = taken;
+            self.pc = target;
+            true
+        }
+    }
+
+    /// Executes `SYNC` for `parkers` (subset of active): parks them at
+    /// the pending reconvergence point. When the active set drains, pops
+    /// deferred paths / reconverges.
+    pub fn sync(&mut self, parkers: LaneMask) {
+        self.active &= !parkers;
+        if self.active == 0 {
+            self.pop_until_runnable();
+        } else {
+            self.pc += 1;
+        }
+    }
+
+    /// Executes `EXIT` for `exiters` (subset of active).
+    pub fn exit_lanes(&mut self, exiters: LaneMask) {
+        self.exited |= exiters;
+        self.active &= !exiters;
+        if self.active == 0 {
+            self.pop_until_runnable();
+        } else {
+            self.pc += 1;
+        }
+    }
+
+    /// Pops the divergence stack until some lane is runnable, or marks
+    /// the warp done.
+    fn pop_until_runnable(&mut self) {
+        while self.active == 0 {
+            match self.stack.pop() {
+                Some(StackEntry::Div { pc, mask }) => {
+                    self.active = mask & !self.exited;
+                    self.pc = pc;
+                }
+                Some(StackEntry::Ssy { reconv, mask }) => {
+                    self.active = mask & !self.exited;
+                    self.pc = reconv;
+                }
+                None => {
+                    self.status = WarpStatus::Done;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> Warp {
+        Warp::new(0, 0, 0, 0xffff_ffff, 32, 256)
+    }
+
+    #[test]
+    fn sp_initialized_to_slab_top() {
+        let w = w();
+        assert_eq!(w.reg(0, Gpr::SP), 256);
+        assert_eq!(w.reg(31, Gpr::SP), 256);
+    }
+
+    #[test]
+    fn rz_reads_zero_ignores_writes() {
+        let mut w = w();
+        w.set_reg(3, Gpr::RZ, 77);
+        assert_eq!(w.reg(3, Gpr::RZ), 0);
+    }
+
+    #[test]
+    fn reg64_roundtrip() {
+        let mut w = w();
+        w.set_reg64(5, Gpr::new(8), 0xdead_beef_0123_4567);
+        assert_eq!(w.reg64(5, Gpr::new(8)), 0xdead_beef_0123_4567);
+        assert_eq!(w.reg(5, Gpr::new(8)), 0x0123_4567);
+        assert_eq!(w.reg(5, Gpr::new(9)), 0xdead_beef);
+    }
+
+    #[test]
+    fn pt_always_true() {
+        let mut w = w();
+        assert!(w.pred(0, PredReg::PT));
+        w.set_pred(0, PredReg::PT, false);
+        assert!(w.pred(0, PredReg::PT));
+        w.set_pred(0, PredReg::new(2), true);
+        assert!(w.pred(0, PredReg::new(2)));
+        assert!(!w.pred(1, PredReg::new(2)));
+    }
+
+    #[test]
+    fn if_else_reconverges() {
+        // SSY end; branch lanes 0..16 taken; then sync; else sync; end.
+        let mut w = w();
+        w.push_ssy(100);
+        assert_eq!(w.pc, 1);
+        let diverged = w.branch(50, 0x0000_ffff);
+        assert!(diverged);
+        assert_eq!(w.pc, 50);
+        assert_eq!(w.active, 0x0000_ffff);
+        // Taken side syncs: deferred path resumes at fallthrough (2).
+        w.sync(w.active);
+        assert_eq!(w.pc, 2);
+        assert_eq!(w.active, 0xffff_0000);
+        // Else side syncs: reconverge at 100 with everyone.
+        w.sync(w.active);
+        assert_eq!(w.pc, 100);
+        assert_eq!(w.active, 0xffff_ffff);
+        assert!(w.stack.is_empty());
+    }
+
+    #[test]
+    fn uniform_branch_no_push() {
+        let mut w = w();
+        assert!(!w.branch(10, 0xffff_ffff));
+        assert_eq!(w.pc, 10);
+        assert!(w.stack.is_empty());
+        assert!(!w.branch(20, 0));
+        assert_eq!(w.pc, 11);
+    }
+
+    #[test]
+    fn loop_with_incremental_exits() {
+        // SSY(end=40) once; lanes leave via guarded sync one by one.
+        let mut w = Warp::new(0, 0, 0, 0b111, 32, 256);
+        w.push_ssy(40);
+        // Iteration: lane 0 leaves.
+        w.sync(0b001);
+        assert_eq!(w.active, 0b110);
+        // Lane 2 leaves.
+        w.sync(0b100);
+        assert_eq!(w.active, 0b010);
+        // Last lane leaves: reconverge at 40 with all three.
+        w.sync(0b010);
+        assert_eq!(w.pc, 40);
+        assert_eq!(w.active, 0b111);
+    }
+
+    #[test]
+    fn exited_lanes_do_not_reconverge() {
+        let mut w = Warp::new(0, 0, 0, 0b1111, 32, 256);
+        w.push_ssy(30);
+        let _ = w.branch(10, 0b0011);
+        // Taken lanes exit inside the region.
+        w.exit_lanes(0b0011);
+        // Deferred path resumes.
+        assert_eq!(w.active, 0b1100);
+        // It syncs; reconvergence excludes the exited lanes.
+        w.sync(0b1100);
+        assert_eq!(w.pc, 30);
+        assert_eq!(w.active, 0b1100);
+    }
+
+    #[test]
+    fn all_lanes_exit_marks_done() {
+        let mut w = Warp::new(0, 0, 0, 0b11, 32, 256);
+        w.exit_lanes(0b11);
+        assert_eq!(w.status, WarpStatus::Done);
+    }
+
+    #[test]
+    fn leader_is_lowest_active() {
+        let mut w = w();
+        w.active = 0b1010_0000;
+        assert_eq!(w.leader(), Some(5));
+        w.active = 0;
+        assert_eq!(w.leader(), None);
+    }
+
+    #[test]
+    fn lane_local_slabs_disjoint() {
+        let mut w = w();
+        w.lane_local_mut(0)[0] = 0xaa;
+        w.lane_local_mut(1)[0] = 0xbb;
+        assert_eq!(w.lane_local(0)[0], 0xaa);
+        assert_eq!(w.lane_local(1)[0], 0xbb);
+    }
+}

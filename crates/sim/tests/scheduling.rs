@@ -1,0 +1,261 @@
+//! Machine-level behaviour: SM scaling, occupancy limits, barrier
+//! semantics with retiring warps, and cache locality effects on cycle
+//! counts.
+
+use sassi_kir::{Compiler, KernelBuilder};
+use sassi_sim::{Device, GpuConfig, LaunchDims, Module, NoHandlers};
+
+fn compute_kernel() -> Module {
+    let mut b = KernelBuilder::kernel("work");
+    let tid = b.global_tid_x();
+    let out = b.param_ptr(0);
+    let acc = b.var_u32(1u32);
+    let bound = b.iconst(200);
+    b.for_range(0u32, bound, 1, |b, i| {
+        let t = b.imad(acc, 17u32, i);
+        b.assign(acc, t);
+    });
+    let e = b.lea(out, tid, 2);
+    b.st_global_u32(e, acc);
+    Module::link(&[Compiler::new().compile(&b.finish()).unwrap()]).unwrap()
+}
+
+fn run_with(cfg: GpuConfig, module: &Module, blocks: u32) -> u64 {
+    let mut dev = Device::new(cfg, 16 << 20);
+    let out = dev.mem.alloc(4 * 32 * blocks as u64, 8).unwrap();
+    let res = dev
+        .launch(
+            module,
+            "work",
+            LaunchDims::linear(blocks, 32),
+            &[out],
+            &mut NoHandlers,
+            0,
+            1 << 32,
+        )
+        .unwrap();
+    assert!(res.is_ok());
+    res.stats.cycles
+}
+
+#[test]
+fn more_sms_finish_sooner() {
+    let module = compute_kernel();
+    let one = run_with(
+        GpuConfig {
+            num_sms: 1,
+            ..GpuConfig::default()
+        },
+        &module,
+        64,
+    );
+    let eight = run_with(
+        GpuConfig {
+            num_sms: 8,
+            ..GpuConfig::default()
+        },
+        &module,
+        64,
+    );
+    assert!(
+        eight * 4 < one,
+        "8 SMs should be much faster than 1 on 64 blocks: {one} vs {eight}"
+    );
+}
+
+#[test]
+fn warp_parallelism_hides_latency() {
+    // The same total work in one block (serialized on one SM) vs many.
+    let module = compute_kernel();
+    let cfg = GpuConfig {
+        num_sms: 1,
+        max_warps_per_sm: 16,
+        ..GpuConfig::default()
+    };
+    let few_warps = run_with(cfg, &module, 2);
+    let cfg1 = GpuConfig {
+        num_sms: 1,
+        max_warps_per_sm: 2,
+        ..GpuConfig::default()
+    };
+    let starved = run_with(cfg1, &module, 2);
+    assert!(
+        few_warps <= starved,
+        "more resident warps never hurt: {few_warps} vs {starved}"
+    );
+}
+
+#[test]
+fn barrier_releases_after_early_warp_exit() {
+    // Warp 0 exits before the barrier; warp 1 must still be released
+    // (the simulator recomputes the barrier target as warps retire).
+    let mut b = KernelBuilder::kernel("bar_exit");
+    let tid = b.tid_x();
+    let out = b.param_ptr(0);
+    let w = b.shr(tid, 5u32);
+    let is_w0 = b.setp_u32_eq(w, 0u32);
+    b.exit_if(is_w0);
+    b.bar_sync();
+    let one = b.iconst(1);
+    let e = b.lea(out, tid, 2);
+    b.st_global_u32(e, one);
+    let module = Module::link(&[Compiler::new().compile(&b.finish()).unwrap()]).unwrap();
+    let mut dev = Device::with_defaults();
+    let out = dev.mem.alloc(4 * 64, 8).unwrap();
+    let res = dev
+        .launch(
+            &module,
+            "bar_exit",
+            LaunchDims::linear(1, 64),
+            &[out],
+            &mut NoHandlers,
+            0,
+            1 << 24,
+        )
+        .unwrap();
+    assert!(res.is_ok(), "{:?}", res.outcome);
+    assert_eq!(
+        dev.mem.read_u32(out + 4 * 40).unwrap(),
+        1,
+        "warp 1 proceeded"
+    );
+    assert_eq!(
+        dev.mem.read_u32(out).unwrap(),
+        0,
+        "warp 0 exited before its store"
+    );
+}
+
+#[test]
+fn cache_locality_shows_in_cycles() {
+    // Re-reading one hot line repeatedly is much faster than streaming.
+    let hot = {
+        let mut b = KernelBuilder::kernel("work");
+        let tid = b.global_tid_x();
+        let buf = b.param_ptr(0);
+        let acc = b.var_u32(0u32);
+        let bound = b.iconst(64);
+        b.for_range(0u32, bound, 1, |b, _i| {
+            let v = b.ld_global_u32(buf);
+            let t = b.iadd(acc, v);
+            b.assign(acc, t);
+        });
+        let e = b.lea(buf, tid, 2);
+        b.st_global_u32(e, acc);
+        Module::link(&[Compiler::new().compile(&b.finish()).unwrap()]).unwrap()
+    };
+    let streaming = {
+        let mut b = KernelBuilder::kernel("work");
+        let tid = b.global_tid_x();
+        let buf = b.param_ptr(0);
+        let acc = b.var_u32(0u32);
+        let bound = b.iconst(64);
+        b.for_range(0u32, bound, 1, |b, i| {
+            // stride 4KiB per iteration: guaranteed misses
+            let big = b.shl(i, 10u32);
+            let idx = b.iadd(big, tid);
+            let e = b.lea(buf, idx, 2);
+            let v = b.ld_global_u32(e);
+            let t = b.iadd(acc, v);
+            b.assign(acc, t);
+        });
+        let e = b.lea(buf, tid, 2);
+        b.st_global_u32(e, acc);
+        Module::link(&[Compiler::new().compile(&b.finish()).unwrap()]).unwrap()
+    };
+    let cfg = GpuConfig::default();
+    let mut dev = Device::new(cfg, 64 << 20);
+    let buf = dev.mem.alloc(4 << 20, 8).unwrap();
+    let a = dev
+        .launch(
+            &hot,
+            "work",
+            LaunchDims::linear(1, 32),
+            &[buf],
+            &mut NoHandlers,
+            0,
+            1 << 32,
+        )
+        .unwrap();
+    let mut dev2 = Device::new(cfg, 64 << 20);
+    let buf2 = dev2.mem.alloc(4 << 20, 8).unwrap();
+    let c = dev2
+        .launch(
+            &streaming,
+            "work",
+            LaunchDims::linear(1, 32),
+            &[buf2],
+            &mut NoHandlers,
+            0,
+            1 << 32,
+        )
+        .unwrap();
+    assert!(a.is_ok() && c.is_ok());
+    assert!(
+        c.stats.cycles > 2 * a.stats.cycles,
+        "streaming ({}) should be much slower than hot-line ({})",
+        c.stats.cycles,
+        a.stats.cycles
+    );
+    assert!(c.mem.l1.hit_rate() < a.mem.l1.hit_rate());
+}
+
+#[test]
+fn occupancy_respects_shared_memory() {
+    // A block using 40 KiB of shared memory allows only one CTA per SM
+    // (48 KiB budget); the launch still completes correctly.
+    let mut b = KernelBuilder::kernel("bigshared");
+    let slot = b.shared_alloc(40 * 1024);
+    let tid = b.tid_x();
+    let out = b.param_ptr(0);
+    let off = b.shl(tid, 2u32);
+    let addr = b.iadd(off, slot.offset as u32);
+    let v = b.imul(tid, 3u32);
+    b.st_shared_u32(addr, 0, v);
+    b.bar_sync();
+    let rv = b.ld_shared_u32(addr, 0);
+    let gid = b.global_tid_x();
+    let e = b.lea(out, gid, 2);
+    b.st_global_u32(e, rv);
+    let module = Module::link(&[Compiler::new().compile(&b.finish()).unwrap()]).unwrap();
+    let mut dev = Device::with_defaults();
+    let out = dev.mem.alloc(4 * 32 * 8, 8).unwrap();
+    let res = dev
+        .launch(
+            &module,
+            "bigshared",
+            LaunchDims::linear(8, 32),
+            &[out],
+            &mut NoHandlers,
+            0,
+            1 << 28,
+        )
+        .unwrap();
+    assert!(res.is_ok());
+    for blk in 0..8u64 {
+        for t in 0..32u64 {
+            assert_eq!(
+                dev.mem.read_u32(out + 4 * (blk * 32 + t)).unwrap(),
+                t as u32 * 3
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_block_rejected() {
+    let module = compute_kernel();
+    let mut dev = Device::with_defaults();
+    let out = dev.mem.alloc(1 << 16, 8).unwrap();
+    // 17 warps per block exceeds max_warps_per_sm = 16.
+    let err = dev.launch(
+        &module,
+        "work",
+        LaunchDims::linear(1, 17 * 32),
+        &[out],
+        &mut NoHandlers,
+        0,
+        1 << 24,
+    );
+    assert!(err.is_err());
+}

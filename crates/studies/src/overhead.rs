@@ -1,0 +1,236 @@
+//! The instrumentation-overhead study (paper §9.1; regenerates Table 3)
+//! and the stub-handler ablation (the observation that ABI setup and
+//! register spilling account for ~80% of the total overhead).
+
+use crate::{branch, inject, memdiv, value};
+use parking_lot::Mutex;
+use sassi::{FnHandler, InfoFlags, Sassi, SiteFilter};
+use sassi_sim::GpuConfig;
+use sassi_workloads::{execute, Workload};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The four case-study instrumentation configurations, plus the stub.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StudyConfig {
+    /// Case Study I: before conditional branches.
+    CondBranches,
+    /// Case Study II: before memory operations.
+    MemoryDivergence,
+    /// Case Study III: after register writes.
+    ValueProfiling,
+    /// Case Study IV: after register/predicate writes (profiling pass).
+    ErrorInjection,
+    /// Value-profiling sites with an *empty* handler body: measures the
+    /// ABI/spill floor of §9.1.
+    StubValueSites,
+}
+
+impl StudyConfig {
+    /// All Table 3 columns.
+    pub fn table3() -> [StudyConfig; 4] {
+        [
+            StudyConfig::CondBranches,
+            StudyConfig::MemoryDivergence,
+            StudyConfig::ValueProfiling,
+            StudyConfig::ErrorInjection,
+        ]
+    }
+
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StudyConfig::CondBranches => "Cond. Branches",
+            StudyConfig::MemoryDivergence => "Memory Divergence",
+            StudyConfig::ValueProfiling => "Value Profiling",
+            StudyConfig::ErrorInjection => "Error Injection",
+            StudyConfig::StubValueSites => "Stub (value sites)",
+        }
+    }
+
+    /// Builds the instrumentor for this configuration (with throwaway
+    /// state — the overhead study only measures time).
+    pub fn instrumentor(&self) -> Sassi {
+        match self {
+            StudyConfig::CondBranches => {
+                branch::instrumentor(Arc::new(Mutex::new(Default::default())))
+            }
+            StudyConfig::MemoryDivergence => {
+                memdiv::instrumentor(Arc::new(Mutex::new(Default::default())))
+            }
+            StudyConfig::ValueProfiling => {
+                value::instrumentor(Arc::new(Mutex::new(Default::default())))
+            }
+            StudyConfig::ErrorInjection => {
+                // The profiling pass of Case Study IV.
+                let state = Arc::new(Mutex::new(inject::InjectionSpace::default()));
+                let mut s = Sassi::new();
+                let st = state;
+                s.on_after(
+                    SiteFilter::REG_WRITES | SiteFilter::PRED_WRITES,
+                    InfoFlags::REGISTERS,
+                    Box::new(FnHandler::new(
+                        sassi::HandlerCost {
+                            instructions: 8,
+                            memory_ops: 0,
+                            atomics: 1,
+                        },
+                        move |_| {
+                            let _ = &st;
+                        },
+                    )),
+                );
+                s
+            }
+            StudyConfig::StubValueSites => {
+                let mut s = Sassi::new();
+                s.on_after(
+                    SiteFilter::REG_WRITES,
+                    InfoFlags::REGISTERS,
+                    Box::new(FnHandler::free(|_| {})),
+                );
+                s
+            }
+        }
+    }
+}
+
+/// One measurement: wall-clock and kernel-time slowdowns.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Slowdown {
+    /// Whole-program ratio `T/t`.
+    pub total: f64,
+    /// Device-side ratio `K/k`.
+    pub kernel: f64,
+}
+
+/// One Table 3 row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Workload label.
+    pub name: String,
+    /// Baseline whole-program seconds (`t`).
+    pub baseline_total_s: f64,
+    /// Baseline kernel milliseconds (`k`).
+    pub baseline_kernel_ms: f64,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Slowdowns per configuration, in `StudyConfig::table3()` order.
+    pub slowdowns: Vec<Slowdown>,
+    /// The stub measurement.
+    pub stub: Slowdown,
+    /// Fraction of the value-profiling *kernel* overhead already paid
+    /// by the empty-handler stub (§9.1 reports ≈0.8).
+    pub stub_fraction: f64,
+}
+
+/// Runs the overhead study for one workload.
+pub fn run(w: &dyn Workload) -> OverheadRow {
+    let cfg = GpuConfig::default();
+    let base = execute(w, None, None);
+    assert!(base.output.is_ok(), "{}: baseline failed", w.name());
+    let t = base.clock.total_seconds(&cfg);
+    let k = base.clock.kernel_seconds(&cfg);
+
+    let measure = |config: StudyConfig| -> Slowdown {
+        let mut sassi = config.instrumentor();
+        let rep = execute(w, Some(&mut sassi), None);
+        assert!(
+            rep.output.is_ok(),
+            "{}: {} failed",
+            w.name(),
+            config.label()
+        );
+        Slowdown {
+            total: rep.clock.total_seconds(&cfg) / t,
+            kernel: rep.clock.kernel_seconds(&cfg) / k,
+        }
+    };
+
+    let slowdowns: Vec<Slowdown> = StudyConfig::table3().iter().map(|&c| measure(c)).collect();
+    let stub = measure(StudyConfig::StubValueSites);
+    let value_k = slowdowns[2].kernel;
+    let stub_fraction = if value_k > 1.0 {
+        (stub.kernel - 1.0) / (value_k - 1.0)
+    } else {
+        0.0
+    };
+
+    OverheadRow {
+        name: w.name(),
+        baseline_total_s: t,
+        baseline_kernel_ms: k * 1e3,
+        launches: base.launches,
+        slowdowns,
+        stub,
+        stub_fraction,
+    }
+}
+
+/// Harmonic mean over rows of a selected ratio.
+pub fn harmonic_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut n = 0usize;
+    let mut denom = 0f64;
+    for v in values {
+        n += 1;
+        denom += 1.0 / v;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        n as f64 / denom
+    }
+}
+
+/// Measures the end-to-end kernel slowdown of before-all-instructions
+/// instrumentation under both spill policies: liveness-driven minimal
+/// saves vs. the save-everything baseline of a liveness-blind binary
+/// rewriter. Returns (liveness, save_everything) kernel slowdowns.
+pub fn run_spill_policy_ablation(w: &dyn Workload) -> (f64, f64) {
+    let cfg = GpuConfig::default();
+    let base = execute(w, None, None);
+    let k = base.clock.kernel_seconds(&cfg);
+    let run = |policy: sassi::SpillPolicy| -> f64 {
+        let mut s = Sassi::new();
+        s.on_before(
+            SiteFilter::ALL,
+            InfoFlags::NONE,
+            Box::new(FnHandler::free(|_| {})),
+        );
+        s.set_spill_policy(policy);
+        let rep = execute(w, Some(&mut s), None);
+        assert!(rep.output.is_ok());
+        rep.clock.kernel_seconds(&cfg) / k
+    };
+    (
+        run(sassi::SpillPolicy::Liveness),
+        run(sassi::SpillPolicy::SaveEverything),
+    )
+}
+
+/// The liveness ablation of DESIGN.md: average registers SASSI saves
+/// per site with liveness-driven spilling vs. the save-everything
+/// alternative a binary instrumentor without liveness must use.
+pub fn spill_ablation(w: &dyn Workload) -> (f64, f64) {
+    let mut sassi = Sassi::new();
+    sassi.on_before(
+        SiteFilter::ALL,
+        InfoFlags::NONE,
+        Box::new(FnHandler::free(|_| {})),
+    );
+    let mut live_total = 0u64;
+    let mut sites = 0u64;
+    for k in w.kernels() {
+        let f = sassi_kir::Compiler::new().compile(&k).expect("compile");
+        for (_, set) in sassi::planned_spills(&f, sassi.specs()) {
+            live_total += set.gpr_count() as u64;
+            sites += 1;
+        }
+    }
+    let avg_live = if sites == 0 {
+        0.0
+    } else {
+        live_total as f64 / sites as f64
+    };
+    (avg_live, 15.0) // save-everything = R0, R2..R15
+}

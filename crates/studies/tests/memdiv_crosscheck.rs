@@ -1,0 +1,103 @@
+//! DESIGN.md §4 cross-check: the memory-divergence handler's unique-line
+//! counts must agree with the standalone coalescer on kernels with
+//! analytically known access patterns.
+
+use parking_lot::Mutex;
+use sassi_kir::KernelBuilder;
+use sassi_mem::coalesce_addresses;
+use sassi_rt::{LaunchDims, ModuleBuilder, Runtime};
+use sassi_studies::memdiv::{instrumentor, MemDivState};
+use std::sync::Arc;
+
+/// Runs one full warp issuing `lane * stride_bytes` offsets into a big
+/// buffer and returns the (active, unique) matrix cell that got hit.
+fn divergence_of_stride(stride_bytes: u32) -> (usize, usize) {
+    let mut b = KernelBuilder::kernel("strided");
+    let lane = b.lane_id();
+    let buf = b.param_ptr(0);
+    let off = b.imul(lane, stride_bytes);
+    let shifted = b.shr(off, 2u32); // element index
+    let e = b.lea(buf, shifted, 2);
+    let v = b.ld_global_u32(e);
+    let e2 = b.lea(buf, lane, 2);
+    let w = b.iadd(v, 1u32);
+    b.st_global_u32(e2, w);
+    let kf = b.finish();
+
+    let state = Arc::new(Mutex::new(MemDivState::default()));
+    let mut sassi = instrumentor(state.clone());
+    let mut mb = ModuleBuilder::new();
+    mb.add_kernel(kf);
+    let module = mb.build(Some(&sassi)).unwrap();
+    let mut rt = Runtime::with_defaults();
+    let buf = rt.alloc_zeroed_u32(32 * 64);
+    let res = rt
+        .launch(
+            &module,
+            "strided",
+            LaunchDims::linear(1, 32),
+            &[buf.addr],
+            &mut sassi,
+        )
+        .unwrap();
+    assert!(res.is_ok());
+
+    // The load's cell: find the cell for the *load* (the store is unit
+    // stride = 4 lines; exclude it by looking for the expected row).
+    let st = state.lock();
+    let expected_addrs: Vec<u64> = (0..32u64)
+        .map(|l| buf.addr + l * stride_bytes as u64)
+        .collect();
+    let expected_unique = coalesce_addresses(&expected_addrs, 4).unique_lines() as usize;
+    // Both instructions ran with 32 active lanes.
+    let row = &st.counters[31];
+    assert!(
+        row[expected_unique - 1] >= 1,
+        "stride {stride_bytes}: expected a hit at unique={expected_unique}, row {row:?}"
+    );
+    (32, expected_unique)
+}
+
+#[test]
+fn handler_agrees_with_coalescer_across_strides() {
+    // stride 0 bytes.. same element: 1 unique line.
+    // stride 4: 32 lanes * 4B = 128B = 4 lines of 32B.
+    // stride 32: one line per lane = 32 unique.
+    // stride 8: 8 bytes apart → 8 lanes per 32B? 32*8=256B → 8 lines.
+    assert_eq!(divergence_of_stride(4).1, 4);
+    assert_eq!(divergence_of_stride(8).1, 8);
+    assert_eq!(divergence_of_stride(16).1, 16);
+    assert_eq!(divergence_of_stride(32).1, 32);
+}
+
+#[test]
+fn broadcast_access_is_one_line() {
+    let mut b = KernelBuilder::kernel("bcast");
+    let buf = b.param_ptr(0);
+    let v = b.ld_global_u32(buf); // every lane reads element 0
+    let lane = b.lane_id();
+    let e = b.lea(buf, lane, 2);
+    let w = b.iadd(v, 1u32);
+    b.st_global_u32(e, w);
+    let kf = b.finish();
+
+    let state = Arc::new(Mutex::new(MemDivState::default()));
+    let mut sassi = instrumentor(state.clone());
+    let mut mb = ModuleBuilder::new();
+    mb.add_kernel(kf);
+    let module = mb.build(Some(&sassi)).unwrap();
+    let mut rt = Runtime::with_defaults();
+    let buf = rt.alloc_zeroed_u32(64);
+    rt.launch(
+        &module,
+        "bcast",
+        LaunchDims::linear(1, 32),
+        &[buf.addr],
+        &mut sassi,
+    )
+    .unwrap();
+    let st = state.lock();
+    assert_eq!(st.counters[31][0], 1, "broadcast load = 1 unique line");
+    // The store is unit-stride: 4 unique lines.
+    assert_eq!(st.counters[31][3], 1, "unit-stride store = 4 unique lines");
+}

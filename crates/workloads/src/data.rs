@@ -1,0 +1,302 @@
+//! Deterministic synthetic dataset generators.
+//!
+//! The paper's inputs (road networks for `bfs NY/SF/UT`, the `1M`
+//! random graph, sparse matrices for `spmv`/miniFE) are not
+//! redistributable, so we synthesize inputs with the same *structural*
+//! character: road-like graphs are near-planar lattices with long
+//! diameters and degree ≈ 3–4; the `1M`-style graph is uniform random
+//! with short diameter; CSR matrices have skewed row lengths while ELL
+//! is padded-regular.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A graph in CSR adjacency form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Row pointers, length `nodes + 1`.
+    pub row_ptr: Vec<u32>,
+    /// Concatenated adjacency lists.
+    pub cols: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Host BFS distances from node 0 (u32::MAX = unreachable).
+    pub fn bfs_distances(&self) -> Vec<u32> {
+        let n = self.nodes();
+        let mut dist = vec![u32::MAX; n];
+        let mut frontier = vec![0u32];
+        dist[0] = 0;
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let (s, e) = (self.row_ptr[u as usize], self.row_ptr[u as usize + 1]);
+                for &v in &self.cols[s as usize..e as usize] {
+                    if dist[v as usize] == u32::MAX {
+                        dist[v as usize] = level;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        dist
+    }
+}
+
+/// A road-network-like graph: a `w × h` lattice with a sprinkle of
+/// removed and diagonal edges. Long diameter, degree ≤ 4 — the shape of
+/// the NY/SF/UT inputs.
+pub fn road_graph(w: usize, h: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = w * h;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+    for y in 0..h {
+        for x in 0..w {
+            let u = idx(x, y);
+            if x + 1 < w && rng.gen_bool(0.92) {
+                adj[u as usize].push(idx(x + 1, y));
+                adj[(idx(x + 1, y)) as usize].push(u);
+            }
+            if y + 1 < h && rng.gen_bool(0.92) {
+                adj[u as usize].push(idx(x, y + 1));
+                adj[(idx(x, y + 1)) as usize].push(u);
+            }
+            if x + 1 < w && y + 1 < h && rng.gen_bool(0.05) {
+                adj[u as usize].push(idx(x + 1, y + 1));
+                adj[(idx(x + 1, y + 1)) as usize].push(u);
+            }
+        }
+    }
+    to_csr(adj)
+}
+
+/// A uniform random graph with mean out-degree `deg` — the shape of the
+/// `1M` input: short diameter, wide frontiers.
+pub fn uniform_graph(n: usize, deg: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    // A Hamiltonian-ish backbone keeps everything reachable.
+    for u in 0..n - 1 {
+        adj[u].push(u as u32 + 1);
+    }
+    // Near-constant out-degree: uniform random graphs drive wide, regular
+    // frontiers, which is what keeps the paper's `1M` input convergent
+    // relative to ragged road networks.
+    for u in 0..n {
+        for _ in 0..deg {
+            let v = rng.gen_range(0..n) as u32;
+            if v as usize != u {
+                adj[u].push(v);
+            }
+        }
+    }
+    to_csr(adj)
+}
+
+fn to_csr(adj: Vec<Vec<u32>>) -> CsrGraph {
+    let mut row_ptr = Vec::with_capacity(adj.len() + 1);
+    let mut cols = Vec::new();
+    row_ptr.push(0u32);
+    for mut list in adj {
+        list.sort_unstable();
+        list.dedup();
+        cols.extend_from_slice(&list);
+        row_ptr.push(cols.len() as u32);
+    }
+    CsrGraph { row_ptr, cols }
+}
+
+/// A sparse matrix in CSR with integer values (exact arithmetic keeps
+/// golden checks bit-exact).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrMatrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols_n: usize,
+    /// Row pointers.
+    pub row_ptr: Vec<u32>,
+    /// Column indices.
+    pub col_idx: Vec<u32>,
+    /// Values.
+    pub values: Vec<u32>,
+}
+
+impl CsrMatrix {
+    /// Host sparse mat-vec `y = A x` in wrapping u32 arithmetic.
+    pub fn spmv(&self, x: &[u32]) -> Vec<u32> {
+        (0..self.rows)
+            .map(|r| {
+                let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                let mut acc = 0u32;
+                for k in s..e {
+                    acc =
+                        acc.wrapping_add(self.values[k].wrapping_mul(x[self.col_idx[k] as usize]));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Converts to padded ELL (column-major): `(width, cols, vals)`
+    /// where entry `(r, j)` lives at `j * rows + r`.
+    pub fn to_ell(&self) -> (usize, Vec<u32>, Vec<u32>) {
+        let width = (0..self.rows)
+            .map(|r| (self.row_ptr[r + 1] - self.row_ptr[r]) as usize)
+            .max()
+            .unwrap_or(0);
+        let mut cols = vec![0u32; width * self.rows];
+        let mut vals = vec![0u32; width * self.rows];
+        for r in 0..self.rows {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            for (j, k) in (s..e).enumerate() {
+                cols[j * self.rows + r] = self.col_idx[k];
+                vals[j * self.rows + r] = self.values[k];
+            }
+        }
+        (width, cols, vals)
+    }
+}
+
+/// A random CSR matrix with *skewed* row lengths (a few heavy rows,
+/// many light ones) — the access pattern that makes CSR kernels
+/// address-diverged.
+pub fn skewed_csr(rows: usize, cols_n: usize, mean_nnz: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = vec![0u32];
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for _ in 0..rows {
+        // Pareto-ish: mostly short rows, occasionally 8× the mean.
+        let len = if rng.gen_bool(0.9) {
+            rng.gen_range(1..=mean_nnz.max(1))
+        } else {
+            rng.gen_range(mean_nnz..=8 * mean_nnz.max(1))
+        };
+        let mut cs: Vec<u32> = (0..len).map(|_| rng.gen_range(0..cols_n) as u32).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        for c in cs {
+            col_idx.push(c);
+            values.push(rng.gen_range(1..16));
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    CsrMatrix {
+        rows,
+        cols_n,
+        row_ptr,
+        col_idx,
+        values,
+    }
+}
+
+/// A banded, regular CSR matrix (every row similar length, neighbours
+/// nearby) — what discretized PDE matrices like miniFE's look like, and
+/// what ELL represents efficiently.
+pub fn banded_csr(rows: usize, band: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = vec![0u32];
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..rows {
+        let lo = r.saturating_sub(band / 2);
+        let hi = (r + band / 2 + 1).min(rows);
+        for c in lo..hi {
+            col_idx.push(c as u32);
+            values.push(rng.gen_range(1..16));
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    CsrMatrix {
+        rows,
+        cols_n: rows,
+        row_ptr,
+        col_idx,
+        values,
+    }
+}
+
+/// Deterministic pseudo-random `u32` vector.
+pub fn random_u32(n: usize, max: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+/// Deterministic pseudo-random `f32` vector in [0, 1), as bit patterns.
+pub fn random_f32_bits(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| rng.gen_range(0.0f32..1.0).to_bits())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_graph_is_connected_enough() {
+        let g = road_graph(16, 16, 1);
+        assert_eq!(g.nodes(), 256);
+        let d = g.bfs_distances();
+        let reachable = d.iter().filter(|&&x| x != u32::MAX).count();
+        assert!(reachable > 200, "only {reachable} reachable");
+        // Road graphs have long diameters relative to size.
+        let diam = d.iter().filter(|&&x| x != u32::MAX).max().unwrap();
+        assert!(*diam >= 16, "diameter {diam} too short for a road graph");
+    }
+
+    #[test]
+    fn uniform_graph_has_short_diameter() {
+        let g = uniform_graph(512, 4, 2);
+        let d = g.bfs_distances();
+        assert!(
+            d.iter().all(|&x| x != u32::MAX),
+            "backbone keeps it connected"
+        );
+        let diam = *d.iter().max().unwrap();
+        assert!(
+            diam <= 16,
+            "uniform graph diameter {diam} unexpectedly long"
+        );
+    }
+
+    #[test]
+    fn csr_spmv_and_ell_agree() {
+        let m = skewed_csr(64, 64, 4, 3);
+        let x = random_u32(64, 100, 4);
+        let y = m.spmv(&x);
+        let (width, cols, vals) = m.to_ell();
+        let mut y2 = vec![0u32; m.rows];
+        for r in 0..m.rows {
+            for j in 0..width {
+                let v = vals[j * m.rows + r];
+                let c = cols[j * m.rows + r];
+                y2[r] = y2[r].wrapping_add(v.wrapping_mul(x[c as usize]));
+            }
+        }
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(road_graph(8, 8, 7), road_graph(8, 8, 7));
+        assert_eq!(skewed_csr(32, 32, 3, 9), skewed_csr(32, 32, 3, 9));
+        assert_eq!(random_u32(16, 10, 5), random_u32(16, 10, 5));
+    }
+}

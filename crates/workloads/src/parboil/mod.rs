@@ -1,0 +1,15 @@
+//! Parboil-style workloads.
+
+pub mod bfs;
+pub mod compute;
+pub mod histo;
+pub mod sgemm;
+pub mod spmv;
+pub mod stencil;
+
+pub use bfs::{BfsDataset, ParboilBfs};
+pub use compute::{Cutcp, Lbm, MriGridding, MriQ, Sad, Tpacf};
+pub use histo::Histo;
+pub use sgemm::Sgemm;
+pub use spmv::Spmv;
+pub use stencil::Stencil;

@@ -1,0 +1,164 @@
+//! The workload registry: named construction and the per-experiment
+//! benchmark sets matching the paper's tables and figures.
+
+use crate::harness::Workload;
+use crate::minife::MiniFe;
+use crate::parboil::{
+    BfsDataset, Cutcp, Histo, Lbm, MriGridding, MriQ, ParboilBfs, Sad, Sgemm, Spmv, Stencil, Tpacf,
+};
+use crate::rodinia::{
+    Backprop, BplusTree, Gaussian, Heartwall, Hotspot, Kmeans, LavaMd, Lud, MummerGpu, Nn, Nw,
+    Pathfinder, RodiniaBfs, Srad, Streamcluster,
+};
+
+/// Every workload in the suite (27 entries, one per distinct
+/// benchmark+dataset used anywhere in the evaluation).
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    let mut v: Vec<Box<dyn Workload>> = Vec::new();
+    for d in BfsDataset::all() {
+        v.push(Box::new(ParboilBfs::new(d)));
+    }
+    v.push(Box::new(Sgemm::small()));
+    v.push(Box::new(Sgemm::medium()));
+    v.push(Box::new(Tpacf::small()));
+    v.push(Box::new(Spmv::small()));
+    v.push(Box::new(Spmv::medium()));
+    v.push(Box::new(Spmv::large()));
+    v.push(Box::new(Stencil::new()));
+    v.push(Box::new(Histo::new()));
+    v.push(Box::new(Lbm::new()));
+    v.push(Box::new(Sad::new()));
+    v.push(Box::new(Cutcp::new()));
+    v.push(Box::new(MriQ::new()));
+    v.push(Box::new(MriGridding::new()));
+    v.push(Box::new(RodiniaBfs::new()));
+    v.push(Box::new(Gaussian::new()));
+    v.push(Box::new(Heartwall::new()));
+    v.push(Box::new(Hotspot::new()));
+    v.push(Box::new(Lud::new()));
+    v.push(Box::new(BplusTree::new()));
+    v.push(Box::new(Nn::new()));
+    v.push(Box::new(Nw::new()));
+    v.push(Box::new(Pathfinder::new()));
+    v.push(Box::new(Backprop::new()));
+    v.push(Box::new(Kmeans::new()));
+    v.push(Box::new(LavaMd::new()));
+    v.push(Box::new(Srad::v1()));
+    v.push(Box::new(Srad::v2()));
+    v.push(Box::new(Streamcluster::new()));
+    v.push(Box::new(MummerGpu::new()));
+    v.push(Box::new(MiniFe::csr()));
+    v.push(Box::new(MiniFe::ell()));
+    v
+}
+
+/// Finds a workload by its display name.
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+fn pick(names: &[&str]) -> Vec<Box<dyn Workload>> {
+    names
+        .iter()
+        .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown workload `{n}`")))
+        .collect()
+}
+
+/// Table 1's benchmark rows: branch-divergence statistics.
+pub fn table1_set() -> Vec<Box<dyn Workload>> {
+    pick(&[
+        "bfs (1M)",
+        "bfs (NY)",
+        "bfs (SF)",
+        "bfs (UT)",
+        "sgemm (small)",
+        "sgemm (medium)",
+        "tpacf (small)",
+        "bfs",
+        "gaussian",
+        "heartwall",
+        "srad_v1",
+        "srad_v2",
+        "streamcluster",
+    ])
+}
+
+/// Figure 7's benchmark series: memory-divergence PMFs.
+pub fn fig7_set() -> Vec<Box<dyn Workload>> {
+    pick(&[
+        "bfs (NY)",
+        "bfs (SF)",
+        "bfs (UT)",
+        "spmv (small)",
+        "spmv (medium)",
+        "spmv (large)",
+        "bfs",
+        "heartwall",
+        "mri-gridding",
+        "miniFE (ELL)",
+        "miniFE (CSR)",
+    ])
+}
+
+/// Table 2's benchmark rows: value profiling.
+pub fn table2_set() -> Vec<Box<dyn Workload>> {
+    pick(&[
+        "bfs (1M)",
+        "cutcp",
+        "histo",
+        "lbm",
+        "mri-gridding",
+        "mri-q",
+        "sad",
+        "sgemm (medium)",
+        "spmv (large)",
+        "stencil",
+        "tpacf (small)",
+        "b+tree",
+        "backprop",
+        "bfs",
+        "gaussian",
+        "heartwall",
+        "hotspot",
+        "kmeans",
+        "lavaMD",
+        "lud",
+        "mummergpu",
+        "nn",
+        "nw",
+        "pathfinder",
+        "srad_v1",
+        "srad_v2",
+        "streamcluster",
+    ])
+}
+
+/// Table 3's benchmark rows: instrumentation overheads.
+pub fn table3_set() -> Vec<Box<dyn Workload>> {
+    table2_set()
+}
+
+/// Figure 10's benchmark set: error injection.
+pub fn fig10_set() -> Vec<Box<dyn Workload>> {
+    pick(&[
+        "bfs (1M)",
+        "cutcp",
+        "histo",
+        "lbm",
+        "mri-q",
+        "sad",
+        "sgemm (medium)",
+        "spmv (large)",
+        "stencil",
+        "backprop",
+        "gaussian",
+        "hotspot",
+        "kmeans",
+        "lud",
+        "nn",
+        "nw",
+        "pathfinder",
+        "srad_v1",
+        "streamcluster",
+    ])
+}

@@ -1,0 +1,13 @@
+//! Rodinia-style workloads.
+
+pub mod bfs;
+pub mod complex;
+pub mod linalg;
+pub mod simple;
+pub mod stencils;
+
+pub use bfs::RodiniaBfs;
+pub use complex::{Backprop, BplusTree, Heartwall, LavaMd, MummerGpu};
+pub use linalg::{Gaussian, Lud, Nw};
+pub use simple::{Kmeans, Nn, Pathfinder, Streamcluster};
+pub use stencils::{Hotspot, Srad, SradVariant};

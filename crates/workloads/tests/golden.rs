@@ -1,0 +1,73 @@
+//! Golden-output verification: every workload, compiled and executed on
+//! the simulated GPU, must reproduce its host-computed reference
+//! bit-for-bit.
+
+use sassi_workloads::{all_workloads, by_name, verify_golden};
+
+macro_rules! golden {
+    ($test:ident, $name:expr) => {
+        #[test]
+        fn $test() {
+            let w = by_name($name).expect($name);
+            let report = verify_golden(w.as_ref());
+            assert!(report.kernel_cycles > 0);
+            assert!(report.launches > 0);
+        }
+    };
+}
+
+golden!(bfs_1m, "bfs (1M)");
+golden!(bfs_ny, "bfs (NY)");
+golden!(bfs_sf, "bfs (SF)");
+golden!(bfs_ut, "bfs (UT)");
+golden!(sgemm_small, "sgemm (small)");
+golden!(sgemm_medium, "sgemm (medium)");
+golden!(tpacf_small, "tpacf (small)");
+golden!(spmv_small, "spmv (small)");
+golden!(spmv_medium, "spmv (medium)");
+golden!(spmv_large, "spmv (large)");
+golden!(stencil, "stencil");
+golden!(histo, "histo");
+golden!(lbm, "lbm");
+golden!(sad, "sad");
+golden!(cutcp, "cutcp");
+golden!(mri_q, "mri-q");
+golden!(mri_gridding, "mri-gridding");
+golden!(rodinia_bfs, "bfs");
+golden!(gaussian, "gaussian");
+golden!(heartwall, "heartwall");
+golden!(hotspot, "hotspot");
+golden!(lud, "lud");
+golden!(bplustree, "b+tree");
+golden!(nn, "nn");
+golden!(nw, "nw");
+golden!(pathfinder, "pathfinder");
+golden!(backprop, "backprop");
+golden!(kmeans, "kmeans");
+golden!(lavamd, "lavaMD");
+golden!(srad_v1, "srad_v1");
+golden!(srad_v2, "srad_v2");
+golden!(streamcluster, "streamcluster");
+golden!(minife_csr, "miniFE (CSR)");
+golden!(minife_ell, "miniFE (ELL)");
+
+#[test]
+fn registry_names_are_unique() {
+    let mut names: Vec<String> = all_workloads().iter().map(|w| w.name()).collect();
+    let n = names.len();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), n, "duplicate workload names");
+    assert!(
+        n >= 27,
+        "expected at least the paper's 27 benchmarks, got {n}"
+    );
+}
+
+#[test]
+fn experiment_sets_resolve() {
+    assert_eq!(sassi_workloads::table1_set().len(), 13);
+    assert_eq!(sassi_workloads::fig7_set().len(), 11);
+    assert_eq!(sassi_workloads::table2_set().len(), 27);
+    assert!(sassi_workloads::fig10_set().len() >= 15);
+}

@@ -1,0 +1,32 @@
+//! Case Study I driver: per-branch divergence profiling of the Parboil
+//! bfs datasets (the paper's Table 1 rows and Figure 5 profiles).
+//!
+//! ```sh
+//! cargo run --release --example branch_divergence
+//! ```
+
+use sassi_studies::{branch, report};
+use sassi_workloads::by_name;
+
+fn main() {
+    let mut rows = Vec::new();
+    for name in [
+        "bfs (1M)",
+        "bfs (NY)",
+        "bfs (SF)",
+        "bfs (UT)",
+        "sgemm (small)",
+    ] {
+        let w = by_name(name).expect("workload");
+        eprintln!("profiling {name}...");
+        rows.push(branch::run(w.as_ref()));
+    }
+    println!("{}", report::table1(&rows));
+    for st in rows.iter().take(2) {
+        println!("{}", report::figure5(st, 8));
+    }
+    // The headline contrast: sgemm never diverges, bfs always does.
+    let sgemm = rows.last().unwrap();
+    assert_eq!(sgemm.row.dynamic_divergent, 0);
+    assert!(rows[0].row.dynamic_divergent > 0);
+}

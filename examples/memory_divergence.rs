@@ -1,0 +1,27 @@
+//! Case Study II driver: memory-divergence analysis of the two miniFE
+//! data formats (the paper's Figures 7 and 8 — CSR scatters, ELL
+//! coalesces).
+//!
+//! ```sh
+//! cargo run --release --example memory_divergence
+//! ```
+
+use sassi_studies::{memdiv, report};
+use sassi_workloads::by_name;
+
+fn main() {
+    let csr = memdiv::run(by_name("miniFE (CSR)").unwrap().as_ref());
+    let ell = memdiv::run(by_name("miniFE (ELL)").unwrap().as_ref());
+    println!("{}", report::figure7(&[csr.clone(), ell.clone()]));
+    println!("{}", report::figure8(&csr));
+    println!("{}", report::figure8(&ell));
+    assert!(
+        csr.fully_diverged > ell.fully_diverged,
+        "CSR must be more address-diverged than ELL"
+    );
+    println!(
+        "fully-diverged fraction: CSR {:.0}% vs ELL {:.0}%",
+        100.0 * csr.fully_diverged,
+        100.0 * ell.fully_diverged
+    );
+}

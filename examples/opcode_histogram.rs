@@ -1,0 +1,84 @@
+//! The paper's Figure 3 handler: categorize every dynamic instruction
+//! into the six overlapping categories (memory, extended memory,
+//! control transfer, sync, numeric, texture) plus a total — run here
+//! over the spmv workload.
+//!
+//! ```sh
+//! cargo run --release --example opcode_histogram
+//! ```
+
+use parking_lot::Mutex;
+use sassi::{FnHandler, InfoFlags, Sassi, SiteFilter};
+use sassi_workloads::{by_name, execute};
+use std::sync::Arc;
+
+const LABELS: [&str; 7] = [
+    "memory",
+    "extended memory (>4B)",
+    "control transfer",
+    "sync",
+    "numeric",
+    "texture",
+    "total executed",
+];
+
+fn main() {
+    // __device__ unsigned long long dynamic_instr_counts[7];
+    let counts = Arc::new(Mutex::new([0u64; 7]));
+
+    let c2 = counts.clone();
+    let mut sassi = Sassi::new();
+    // "SASSI can be instructed to insert calls to this handler before
+    // every SASS instruction."
+    sassi.on_before(
+        SiteFilter::ALL,
+        InfoFlags::MEMORY,
+        Box::new(FnHandler::new(
+            sassi::HandlerCost {
+                instructions: 18,
+                memory_ops: 0,
+                atomics: 7,
+            },
+            move |site| {
+                for lane in site.active_lanes() {
+                    let bp = site.params(lane);
+                    let mut c = c2.lock();
+                    if bp.is_mem(site.trap) {
+                        c[0] += 1;
+                        let mp = site.memory_params(lane).unwrap();
+                        if mp.width(site.trap) > 4 {
+                            c[1] += 1;
+                        }
+                    }
+                    if bp.is_control_xfer(site.trap) {
+                        c[2] += 1;
+                    }
+                    if bp.is_sync(site.trap) {
+                        c[3] += 1;
+                    }
+                    if bp.is_numeric(site.trap) {
+                        c[4] += 1;
+                    }
+                    if bp.is_texture(site.trap) {
+                        c[5] += 1;
+                    }
+                    c[6] += 1;
+                }
+            },
+        )),
+    );
+
+    let w = by_name("spmv (small)").expect("workload");
+    let report = execute(w.as_ref(), Some(&mut sassi), None);
+    assert!(report.output.is_ok());
+
+    println!("dynamic instruction categories for {}:", w.name());
+    let c = counts.lock();
+    for (label, v) in LABELS.iter().zip(c.iter()) {
+        println!("  {label:<24} {v:>12}");
+    }
+    println!(
+        "\n(kernel ran {} warp-level instructions; handler calls: {})",
+        report.warp_instrs, report.handler_calls
+    );
+}

@@ -1,0 +1,39 @@
+//! Case Study III driver: value profiling (the paper's Table 2 and the
+//! §7.2 per-register bit-pattern report).
+//!
+//! ```sh
+//! cargo run --release --example value_profile
+//! ```
+
+use parking_lot::Mutex;
+use sassi_studies::{report, value};
+use sassi_workloads::{by_name, execute};
+use std::sync::Arc;
+
+fn main() {
+    // Table 2 rows for a few contrasting workloads.
+    let mut rows = Vec::new();
+    for name in ["b+tree", "sgemm (small)", "backprop", "heartwall"] {
+        eprintln!("profiling {name}...");
+        rows.push(value::run(by_name(name).unwrap().as_ref()));
+    }
+    println!("{}", report::table2(&rows));
+
+    // The §7.2 drill-down: per-destination bit patterns (the
+    // `R13* <- [000...T]` listing) for the hottest instructions.
+    let state = Arc::new(Mutex::new(value::ValueState::default()));
+    let mut sassi = value::instrumentor(state.clone());
+    let w = by_name("b+tree").unwrap();
+    let rep = execute(w.as_ref(), Some(&mut sassi), None);
+    assert!(rep.output.is_ok());
+    let st = state.lock();
+    let mut hot: Vec<_> = st.instrs.iter().collect();
+    hot.sort_by(|a, b| b.1.weight.cmp(&a.1.weight));
+    println!("hottest register-writing instructions of b+tree:");
+    for (addr, prof) in hot.iter().take(6) {
+        println!("  pc {addr:#x} (executed {} times)", prof.weight);
+        for d in &prof.dsts {
+            println!("    {}", value::bit_pattern(d));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+//! # sassi-repro — umbrella crate
+//!
+//! Reproduction of *Flexible Software Profiling of GPU Architectures*
+//! (Stephenson et al., ISCA 2015) on a from-scratch SIMT substrate.
+//! This crate re-exports the workspace members; see the README for the
+//! architecture overview and `DESIGN.md` for the system inventory.
+//!
+//! - [`sassi_isa`] — the SASS-like machine ISA
+//! - [`sassi_kir`] — kernel IR, builder DSL, backend compiler
+//! - [`sassi_mem`] — coalescer, caches, DRAM
+//! - [`sassi_sim`] — the SIMT simulator
+//! - [`sassi`] — the instrumentor (the paper's contribution)
+//! - [`sassi_rt`] — host runtime + CUPTI-style callbacks
+//! - [`sassi_workloads`] — the benchmark suite
+//! - [`sassi_studies`] — the four case studies
+
+pub use sassi;
+pub use sassi_isa;
+pub use sassi_kir;
+pub use sassi_mem;
+pub use sassi_rt;
+pub use sassi_sim;
+pub use sassi_studies;
+pub use sassi_workloads;

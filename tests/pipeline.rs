@@ -1,0 +1,300 @@
+//! Cross-crate integration tests: scenarios spanning the builder, the
+//! backend compiler, the instrumentor, the linker, the runtime and the
+//! simulator.
+
+use parking_lot::Mutex;
+use sassi::{FnHandler, InfoFlags, Sassi, SiteFilter};
+use sassi_isa::GLOBAL_HEAP_BASE;
+use sassi_kir::KernelBuilder;
+use sassi_rt::{LaunchDims, ModuleBuilder, Runtime};
+use sassi_sim::NoHandlers;
+use std::sync::Arc;
+
+/// Shared-memory tile + barrier + warp shuffle, fully instrumented:
+/// each block reverses its 64 elements through shared memory, then each
+/// warp computes a shuffle-reduced sum.
+#[test]
+fn shared_memory_barrier_and_shuffle_under_instrumentation() {
+    let mut b = KernelBuilder::kernel("revsum");
+    let tile = b.shared_alloc(64 * 4);
+    let tid = b.tid_x();
+    let src = b.param_ptr(0);
+    let dst = b.param_ptr(1);
+    let sums = b.param_ptr(2);
+    let gid = b.global_tid_x();
+    let e = b.lea(src, gid, 2);
+    let v = b.ld_global_u32(e);
+    // tile[63 - tid] = v
+    let k63 = b.iconst(63);
+    let rev = b.isub(k63, tid);
+    let off = b.shl(rev, 2u32);
+    let base = b.iconst(tile.offset as u32);
+    let addr = b.iadd(off, base);
+    b.st_shared_u32(addr, 0, v);
+    b.bar_sync();
+    // out[gid] = tile[tid]
+    let off2 = b.shl(tid, 2u32);
+    let addr2 = b.iadd(off2, base);
+    let rv = b.ld_shared_u32(addr2, 0);
+    let eo = b.lea(dst, gid, 2);
+    b.st_global_u32(eo, rv);
+    // warp-reduced sum of rv via butterfly shuffles
+    let acc = b.var_u32(0u32);
+    b.assign(acc, rv);
+    for d in [16u32, 8, 4, 2, 1] {
+        let o = b.shfl_xor(acc, d);
+        let s = b.iadd(acc, o);
+        b.assign(acc, s);
+    }
+    let lane = b.lane_id();
+    let lead = b.setp_u32_eq(lane, 0u32);
+    b.if_(lead, |b| {
+        let wid = b.shr(gid, 5u32);
+        let es = b.lea(sums, wid, 2);
+        b.st_global_u32(es, acc);
+    });
+    let kf = b.finish();
+
+    let traps = Arc::new(Mutex::new(0u64));
+    let t2 = traps.clone();
+    let mut sassi = Sassi::new();
+    sassi.on_before(
+        SiteFilter::ALL,
+        InfoFlags::NONE,
+        Box::new(FnHandler::free(move |_| {
+            *t2.lock() += 1;
+        })),
+    );
+
+    let mut mb = ModuleBuilder::new();
+    mb.add_kernel(kf);
+    let module = mb.build(Some(&sassi)).unwrap();
+
+    let mut rt = Runtime::with_defaults();
+    let input: Vec<u32> = (0..128).collect();
+    let d_src = rt.alloc_u32(&input);
+    let d_dst = rt.alloc_zeroed_u32(128);
+    let d_sums = rt.alloc_zeroed_u32(4);
+    let res = rt
+        .launch(
+            &module,
+            "revsum",
+            LaunchDims::linear(2, 64),
+            &[d_src.addr, d_dst.addr, d_sums.addr],
+            &mut sassi,
+        )
+        .unwrap();
+    assert!(res.is_ok(), "{:?}", res.outcome);
+
+    let out = rt.read_u32(d_dst);
+    for blk in 0..2u32 {
+        for t in 0..64u32 {
+            let gid = blk * 64 + t;
+            assert_eq!(out[gid as usize], blk * 64 + (63 - t), "gid {gid}");
+        }
+    }
+    let sums = rt.read_u32(d_sums);
+    // Warp w of block b holds reversed values; each warp sum is the sum
+    // of 32 consecutive values.
+    let expect = |lo: u32| (lo..lo + 32).sum::<u32>();
+    assert_eq!(sums[0], expect(32)); // block 0 warp 0 got values 63..32
+    assert_eq!(sums[1], expect(0));
+    assert_eq!(sums[2], expect(96));
+    assert_eq!(sums[3], expect(64));
+    assert!(*traps.lock() > 100, "instrumentation must have fired");
+}
+
+/// Multi-kernel module, SASS handler + native handler coexisting.
+#[test]
+fn sass_and_native_handlers_coexist() {
+    // SASS handler counts every instruction into a device counter.
+    let mut h = KernelBuilder::abi_function("count_all");
+    let counters = h.iconst64(GLOBAL_HEAP_BASE);
+    let one = h.iconst(1);
+    h.red_global(sassi_isa::AtomOp::Add, counters, one);
+    h.ret();
+
+    // Two trivial kernels.
+    let mk = |name: &str, mul: u32| {
+        let mut b = KernelBuilder::kernel(name);
+        let tid = b.global_tid_x();
+        let out = b.param_ptr(0);
+        let v = b.imul(tid, mul);
+        let e = b.lea(out, tid, 2);
+        b.st_global_u32(e, v);
+        b.finish()
+    };
+
+    let mut mb = ModuleBuilder::new();
+    let hidx = mb.add_sass_handler(h.finish());
+    mb.add_kernel(mk("k2", 2));
+    mb.add_kernel(mk("k3", 3));
+
+    let native_hits = Arc::new(Mutex::new(0u64));
+    let nh = native_hits.clone();
+    let mut sassi = Sassi::new();
+    sassi.on_before_sass(SiteFilter::MEMORY, InfoFlags::NONE, hidx);
+    sassi.on_before(
+        SiteFilter::MEMORY,
+        InfoFlags::MEMORY,
+        Box::new(FnHandler::free(move |site| {
+            *nh.lock() += site.active_lanes().len() as u64;
+        })),
+    );
+    let module = mb.build(Some(&sassi)).unwrap();
+
+    let mut rt = Runtime::with_defaults();
+    let dev_counter = rt.alloc_zeroed_u32(1);
+    assert_eq!(dev_counter.addr, GLOBAL_HEAP_BASE);
+    let out2 = rt.alloc_zeroed_u32(32);
+    let out3 = rt.alloc_zeroed_u32(32);
+    for (k, buf) in [("k2", out2), ("k3", out3)] {
+        let res = rt
+            .launch(
+                &module,
+                k,
+                LaunchDims::linear(1, 32),
+                &[buf.addr],
+                &mut sassi,
+            )
+            .unwrap();
+        assert!(res.is_ok());
+    }
+    assert_eq!(rt.read_u32(out2)[7], 14);
+    assert_eq!(rt.read_u32(out3)[7], 21);
+    // One store per thread per kernel, observed by BOTH handler kinds.
+    assert_eq!(rt.read_u32(dev_counter)[0], 64);
+    assert_eq!(*native_hits.lock(), 64);
+}
+
+/// The whole-application clock decomposes sensibly and instrumentation
+/// shifts the kernel share upward.
+#[test]
+fn clock_reflects_instrumentation() {
+    use sassi_workloads::{by_name, execute};
+    let cfg = sassi_sim::GpuConfig::default();
+    let w = by_name("histo").unwrap();
+    let base = execute(w.as_ref(), None, None);
+    assert!(base.output.is_ok());
+
+    let mut sassi = Sassi::new();
+    sassi.on_before(
+        SiteFilter::ALL,
+        InfoFlags::NONE,
+        Box::new(FnHandler::free(|_| {})),
+    );
+    let inst = execute(w.as_ref(), Some(&mut sassi), None);
+    assert!(inst.output.is_ok());
+
+    let k0 = base.clock.kernel_seconds(&cfg);
+    let k1 = inst.clock.kernel_seconds(&cfg);
+    assert!(k1 > 3.0 * k0, "kernel time must grow: {k0} -> {k1}");
+    // Host and transfer components are identical between runs.
+    assert!((base.clock.host_seconds - inst.clock.host_seconds).abs() < 1e-9);
+    assert_eq!(base.clock.transfer_bytes, inst.clock.transfer_bytes);
+    // Whole-program slowdown is milder than kernel slowdown (histo is
+    // host-dominated, the Table 3 effect).
+    let t_ratio = inst.clock.total_seconds(&cfg) / base.clock.total_seconds(&cfg);
+    let k_ratio = k1 / k0;
+    assert!(t_ratio < k_ratio);
+}
+
+/// Kernel faults surface as sticky errors through the runtime, exactly
+/// once, without poisoning later launches.
+#[test]
+fn faults_are_isolated_per_launch() {
+    let mut b = KernelBuilder::kernel("oob");
+    let out = b.param_ptr(0);
+    let tid = b.global_tid_x();
+    let big = b.iconst(1 << 20);
+    let idx = b.iadd(tid, big);
+    let e = b.lea(out, idx, 2);
+    let v = b.iconst(1);
+    b.st_global_u32(e, v);
+    let bad = b.finish();
+
+    let mut g = KernelBuilder::kernel("good");
+    let out = g.param_ptr(0);
+    let tid = g.global_tid_x();
+    let e = g.lea(out, tid, 2);
+    g.st_global_u32(e, tid);
+    let good = g.finish();
+
+    let mut mb = ModuleBuilder::new();
+    mb.add_kernel(bad);
+    mb.add_kernel(good);
+    let module = mb.build(None).unwrap();
+
+    let mut rt = Runtime::with_defaults();
+    let buf = rt.alloc_zeroed_u32(64);
+    let res = rt
+        .launch(
+            &module,
+            "oob",
+            LaunchDims::linear(1, 32),
+            &[buf.addr],
+            &mut NoHandlers,
+        )
+        .unwrap();
+    assert!(matches!(res.outcome, sassi_sim::KernelOutcome::Fault(_)));
+    // A later launch on the same device still works.
+    let res = rt
+        .launch(
+            &module,
+            "good",
+            LaunchDims::linear(1, 32),
+            &[buf.addr],
+            &mut NoHandlers,
+        )
+        .unwrap();
+    assert!(res.is_ok());
+    assert_eq!(rt.read_u32(buf)[31], 31);
+    assert!(!rt.all_ok());
+}
+
+/// The trampoline only touches the thread's local slab: the stream of
+/// global-memory transactions (count and cache behaviour) must be
+/// identical with and without instrumentation.
+#[test]
+fn instrumentation_preserves_global_traffic() {
+    let mut b = KernelBuilder::kernel("traffic");
+    let tid = b.global_tid_x();
+    let buf = b.param_ptr(0);
+    let scale = b.imul(tid, 97u32);
+    let idx = b.and(scale, 0x3ffu32);
+    let e = b.lea(buf, idx, 2);
+    let v = b.ld_global_u32(e);
+    let w = b.iadd(v, 1u32);
+    let e2 = b.lea(buf, tid, 2);
+    b.st_global_u32(e2, w);
+    let kf = b.finish();
+
+    let run = |sassi: Option<&mut Sassi>| {
+        let mut mb = ModuleBuilder::new();
+        mb.add_kernel(kf.clone());
+        let module = mb.build(sassi.as_deref()).unwrap();
+        let mut rt = Runtime::with_defaults();
+        let buf = rt.alloc_zeroed_u32(4096);
+        let res = match sassi {
+            Some(s) => rt
+                .launch(&module, "traffic", LaunchDims::linear(8, 128), &[buf.addr], s)
+                .unwrap(),
+            None => rt
+                .launch(&module, "traffic", LaunchDims::linear(8, 128), &[buf.addr], &mut NoHandlers)
+                .unwrap(),
+        };
+        assert!(res.is_ok());
+        res.mem
+    };
+
+    let base = run(None);
+    let mut sassi = Sassi::new();
+    sassi.on_before(SiteFilter::ALL, InfoFlags::NONE, Box::new(FnHandler::free(|_| {})));
+    let traced = run(Some(&mut sassi));
+    assert_eq!(
+        base.transactions, traced.transactions,
+        "instrumentation must not add global transactions"
+    );
+    assert_eq!(base.warp_accesses, traced.warp_accesses);
+    assert_eq!(base.l1.accesses(), traced.l1.accesses());
+}

@@ -1,0 +1,393 @@
+//! Property-based tests over the whole stack: randomly generated
+//! programs must compute the same results as a host model, regardless
+//! of register budget (spill correctness) or instrumentation
+//! (trampoline transparency).
+
+use proptest::prelude::*;
+use sassi::{FnHandler, InfoFlags, Sassi, SiteFilter};
+use sassi_kir::{Compiler, KernelBuilder, V32};
+use sassi_mem::coalesce_addresses;
+use sassi_sim::{Device, LaunchDims, Module, NoHandlers};
+
+/// A tiny random program over a register bank: each step combines two
+/// earlier values with one of several ops.
+#[derive(Clone, Debug)]
+enum Step {
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Xor(usize, usize),
+    Shl(usize, u32),
+    Min(usize, usize),
+    SelLt(usize, usize, usize), // v = if a < b { a } else { c }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Add(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Sub(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Mul(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Xor(a, b)),
+        (any::<usize>(), 0u32..32).prop_map(|(a, s)| Step::Shl(a, s)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Min(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(a, b, c)| Step::SelLt(a, b, c)),
+    ]
+}
+
+/// Host model: evaluate the program for one thread id.
+fn host_eval(seeds: &[u32], steps: &[Step], tid: u32) -> u32 {
+    let mut vals: Vec<u32> = seeds.iter().map(|s| s.wrapping_add(tid)).collect();
+    for st in steps {
+        let n = vals.len();
+        let v = match st {
+            Step::Add(a, b) => vals[a % n].wrapping_add(vals[b % n]),
+            Step::Sub(a, b) => vals[a % n].wrapping_sub(vals[b % n]),
+            Step::Mul(a, b) => vals[a % n].wrapping_mul(vals[b % n]),
+            Step::Xor(a, b) => vals[a % n] ^ vals[b % n],
+            Step::Shl(a, s) => vals[a % n] << s,
+            Step::Min(a, b) => vals[a % n].min(vals[b % n]),
+            Step::SelLt(a, b, c) => {
+                if vals[a % n] < vals[b % n] {
+                    vals[a % n]
+                } else {
+                    vals[c % n]
+                }
+            }
+        };
+        vals.push(v);
+    }
+    // Fold everything so every intermediate is live at the end
+    // (maximizing register pressure).
+    vals.iter().fold(0u32, |acc, v| acc.wrapping_add(*v))
+}
+
+/// Device version of the same program.
+fn build_kernel(seeds: &[u32], steps: &[Step]) -> sassi_kir::KFunction {
+    let mut b = KernelBuilder::kernel("prog");
+    let out = b.param_ptr(0);
+    let tid = b.global_tid_x();
+    let mut vals: Vec<V32> = seeds.iter().map(|&s| b.iadd(tid, s)).collect();
+    for st in steps {
+        let n = vals.len();
+        let v = match st {
+            Step::Add(a, c) => b.iadd(vals[a % n], vals[c % n]),
+            Step::Sub(a, c) => b.isub(vals[a % n], vals[c % n]),
+            Step::Mul(a, c) => b.imul(vals[a % n], vals[c % n]),
+            Step::Xor(a, c) => b.xor(vals[a % n], vals[c % n]),
+            Step::Shl(a, s) => b.shl(vals[a % n], *s),
+            Step::Min(a, c) => b.umin(vals[a % n], vals[c % n]),
+            Step::SelLt(a, c, d) => {
+                let p = b.setp_u32_lt(vals[a % n], vals[c % n]);
+                b.sel(p, vals[a % n], vals[d % n])
+            }
+        };
+        vals.push(v);
+    }
+    let mut acc = b.iconst(0);
+    for v in &vals {
+        acc = b.iadd(acc, *v);
+    }
+    let e = b.lea(out, tid, 2);
+    b.st_global_u32(e, acc);
+    b.finish()
+}
+
+fn run_kernel(func: sassi_isa::Function, sassi: Option<&mut Sassi>) -> Vec<u32> {
+    let module = Module::link(std::slice::from_ref(&func)).unwrap();
+    let mut dev = Device::with_defaults();
+    let out = dev.mem.alloc(64 * 4, 8).unwrap();
+    let res = match sassi {
+        Some(s) => dev
+            .launch(
+                &module,
+                "prog",
+                LaunchDims::linear(2, 32),
+                &[out],
+                s,
+                0,
+                1 << 32,
+            )
+            .unwrap(),
+        None => dev
+            .launch(
+                &module,
+                "prog",
+                LaunchDims::linear(2, 32),
+                &[out],
+                &mut NoHandlers,
+                0,
+                1 << 32,
+            )
+            .unwrap(),
+    };
+    assert!(res.is_ok(), "{:?}", res.outcome);
+    (0..64)
+        .map(|i| dev.mem.read_u32(out + 4 * i).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Spill correctness: a 16-register budget (heavy spilling) must
+    /// compute exactly what a 63-register budget computes, and both
+    /// must match the host model.
+    #[test]
+    fn register_budget_is_transparent(
+        seeds in prop::collection::vec(any::<u32>(), 3..8),
+        steps in prop::collection::vec(step_strategy(), 4..24),
+    ) {
+        let kf = build_kernel(&seeds, &steps);
+        let wide = Compiler::new().compile(&kf).unwrap();
+        let narrow = Compiler::new().max_regs(16).compile(&kf).unwrap();
+        let a = run_kernel(wide, None);
+        let c = run_kernel(narrow, None);
+        prop_assert_eq!(&a, &c, "spilling changed results");
+        for (tid, got) in a.iter().enumerate() {
+            prop_assert_eq!(*got, host_eval(&seeds, &steps, tid as u32), "tid {}", tid);
+        }
+    }
+
+    /// Trampoline transparency: instrumenting before every instruction
+    /// (with full register saves/restores) must not change results.
+    #[test]
+    fn instrumentation_is_transparent(
+        seeds in prop::collection::vec(any::<u32>(), 3..6),
+        steps in prop::collection::vec(step_strategy(), 4..16),
+    ) {
+        let kf = build_kernel(&seeds, &steps);
+        let func = Compiler::new().compile(&kf).unwrap();
+        let plain = run_kernel(func.clone(), None);
+
+        let mut sassi = Sassi::new();
+        sassi.on_before(SiteFilter::ALL, InfoFlags::NONE, Box::new(FnHandler::free(|_| {})));
+        let instr = sassi.apply(&func, 0);
+        let traced = run_kernel(instr, Some(&mut sassi));
+        prop_assert_eq!(plain, traced);
+    }
+
+    /// Coalescer invariants: 1 ≤ unique ≤ min(distinct lines, 32·span);
+    /// permutation-independent; all-same-line collapses to 1.
+    #[test]
+    fn coalescer_invariants(
+        addrs in prop::collection::vec(0u64..1_000_000, 1..32),
+        rotate in 0usize..32,
+    ) {
+        let r = coalesce_addresses(&addrs, 4);
+        prop_assert!(r.unique_lines() >= 1);
+        prop_assert!(r.unique_lines() as usize <= 2 * addrs.len());
+        let mut rotated = addrs.clone();
+        rotated.rotate_left(rotate % addrs.len());
+        let r2 = coalesce_addresses(&rotated, 4);
+        prop_assert_eq!(r.unique_lines(), r2.unique_lines());
+
+        let same = vec![addrs[0] & !31; addrs.len()];
+        prop_assert_eq!(coalesce_addresses(&same, 4).unique_lines(), 1);
+    }
+
+    /// RegSet behaves like a set of register indices.
+    #[test]
+    fn regset_is_a_set(
+        xs in prop::collection::vec(0u8..255, 0..64),
+        ys in prop::collection::vec(0u8..255, 0..64),
+    ) {
+        use sassi_isa::{Gpr, RegSet};
+        use std::collections::BTreeSet;
+        let mk = |v: &Vec<u8>| -> RegSet {
+            v.iter().map(|&i| Gpr::new(i.min(254))).collect()
+        };
+        let model = |v: &Vec<u8>| -> BTreeSet<u8> {
+            v.iter().map(|&i| i.min(254)).collect()
+        };
+        let (a, b) = (mk(&xs), mk(&ys));
+        let (ma, mb) = (model(&xs), model(&ys));
+
+        let mut u = a;
+        u.union_with(&b);
+        let mu: BTreeSet<u8> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(u.iter_gprs().map(|g| g.index()).collect::<Vec<_>>(),
+                        mu.iter().copied().collect::<Vec<_>>());
+
+        let i = a.intersection(&b);
+        let mi: BTreeSet<u8> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(i.iter_gprs().map(|g| g.index()).collect::<Vec<_>>(),
+                        mi.iter().copied().collect::<Vec<_>>());
+
+        let mut d = a;
+        d.subtract(&b);
+        let md: BTreeSet<u8> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(d.iter_gprs().map(|g| g.index()).collect::<Vec<_>>(),
+                        md.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(d.gpr_count() as usize, md.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random nested control flow: the divergence stack and the trampolines
+// must compose for arbitrary structured programs.
+
+#[derive(Clone, Debug)]
+enum CfNode {
+    Compute(Step),
+    If { bit: u8, then_n: u8, else_n: u8 },
+}
+
+fn cf_strategy() -> impl Strategy<Value = Vec<CfNode>> {
+    let node = prop_oneof![
+        step_strategy().prop_map(CfNode::Compute),
+        (0u8..5, 1u8..4, 0u8..4).prop_map(|(bit, t, e)| CfNode::If {
+            bit,
+            then_n: t,
+            else_n: e
+        }),
+    ];
+    prop::collection::vec(node, 2..14)
+}
+
+fn host_eval_cf(seeds: &[u32], nodes: &[CfNode], tid: u32) -> u32 {
+    let mut vals: Vec<u32> = seeds.iter().map(|s| s.wrapping_add(tid)).collect();
+    fn apply(vals: &mut Vec<u32>, st: &Step) {
+        let n = vals.len();
+        let v = match st {
+            Step::Add(a, b) => vals[a % n].wrapping_add(vals[b % n]),
+            Step::Sub(a, b) => vals[a % n].wrapping_sub(vals[b % n]),
+            Step::Mul(a, b) => vals[a % n].wrapping_mul(vals[b % n]),
+            Step::Xor(a, b) => vals[a % n] ^ vals[b % n],
+            Step::Shl(a, s) => vals[a % n] << s,
+            Step::Min(a, b) => vals[a % n].min(vals[b % n]),
+            Step::SelLt(a, b, c) => {
+                if vals[a % n] < vals[b % n] {
+                    vals[a % n]
+                } else {
+                    vals[c % n]
+                }
+            }
+        };
+        vals.push(v);
+    }
+    let mut i = 0;
+    while i < nodes.len() {
+        match &nodes[i] {
+            CfNode::Compute(st) => apply(&mut vals, st),
+            CfNode::If {
+                bit,
+                then_n,
+                else_n,
+            } => {
+                // Taken lanes double the last value then_n times; others
+                // add 13 else_n times. Both arms also push one value.
+                let taken = (tid >> bit) & 1 == 1;
+                let last = *vals.last().unwrap();
+                if taken {
+                    let mut v = last;
+                    for _ in 0..*then_n {
+                        v = v.wrapping_mul(2).wrapping_add(1);
+                    }
+                    vals.push(v);
+                } else {
+                    let mut v = last;
+                    for _ in 0..*else_n {
+                        v = v.wrapping_add(13);
+                    }
+                    vals.push(v);
+                }
+            }
+        }
+        i += 1;
+    }
+    vals.iter().fold(0u32, |acc, v| acc.wrapping_add(*v))
+}
+
+fn build_cf_kernel(seeds: &[u32], nodes: &[CfNode]) -> sassi_kir::KFunction {
+    let mut b = KernelBuilder::kernel("prog");
+    let out = b.param_ptr(0);
+    let tid = b.global_tid_x();
+    let mut vals: Vec<V32> = seeds.iter().map(|&s| b.iadd(tid, s)).collect();
+    for node in nodes {
+        match node {
+            CfNode::Compute(st) => {
+                let n = vals.len();
+                let v = match st {
+                    Step::Add(a, c) => b.iadd(vals[a % n], vals[c % n]),
+                    Step::Sub(a, c) => b.isub(vals[a % n], vals[c % n]),
+                    Step::Mul(a, c) => b.imul(vals[a % n], vals[c % n]),
+                    Step::Xor(a, c) => b.xor(vals[a % n], vals[c % n]),
+                    Step::Shl(a, s) => b.shl(vals[a % n], *s),
+                    Step::Min(a, c) => b.umin(vals[a % n], vals[c % n]),
+                    Step::SelLt(a, c, d) => {
+                        let p = b.setp_u32_lt(vals[a % n], vals[c % n]);
+                        b.sel(p, vals[a % n], vals[d % n])
+                    }
+                };
+                vals.push(v);
+            }
+            CfNode::If {
+                bit,
+                then_n,
+                else_n,
+            } => {
+                let last = *vals.last().unwrap();
+                let shifted = b.shr(last, 0u32); // copy via shr 0
+                let _ = shifted;
+                let t = b.shr(tid, *bit as u32);
+                let tb = b.and(t, 1u32);
+                let taken = b.setp_u32_eq(tb, 1u32);
+                let result = b.var_u32(0u32);
+                b.if_else(
+                    taken,
+                    |b| {
+                        let mut v = last;
+                        for _ in 0..*then_n {
+                            let one = b.iconst(1);
+                            v = b.imad(v, 2u32, one);
+                        }
+                        b.assign(result, v);
+                    },
+                    |b| {
+                        let mut v = last;
+                        for _ in 0..*else_n {
+                            v = b.iadd(v, 13u32);
+                        }
+                        b.assign(result, v);
+                    },
+                );
+                vals.push(result);
+            }
+        }
+    }
+    let mut acc = b.iconst(0);
+    for v in &vals {
+        acc = b.iadd(acc, *v);
+    }
+    let e = b.lea(out, tid, 2);
+    b.st_global_u32(e, acc);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random nested divergent control flow must reconverge correctly,
+    /// match the host model, survive register caps, and be untouched by
+    /// full instrumentation.
+    #[test]
+    fn nested_divergence_is_correct_and_transparent(
+        seeds in prop::collection::vec(any::<u32>(), 2..5),
+        nodes in cf_strategy(),
+    ) {
+        let kf = build_cf_kernel(&seeds, &nodes);
+        let func = Compiler::new().compile(&kf).unwrap();
+        let plain = run_kernel(func.clone(), None);
+        for (tid, got) in plain.iter().enumerate() {
+            prop_assert_eq!(*got, host_eval_cf(&seeds, &nodes, tid as u32), "tid {}", tid);
+        }
+        // Spilled variant agrees.
+        let narrow = Compiler::new().max_regs(16).compile(&kf).unwrap();
+        prop_assert_eq!(&plain, &run_kernel(narrow, None));
+        // Fully instrumented variant agrees.
+        let mut sassi = Sassi::new();
+        sassi.on_before(SiteFilter::ALL, InfoFlags::NONE, Box::new(FnHandler::free(|_| {})));
+        let instr = sassi.apply(&func, 0);
+        prop_assert_eq!(&plain, &run_kernel(instr, Some(&mut sassi)));
+    }
+}
