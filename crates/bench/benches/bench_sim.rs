@@ -85,7 +85,7 @@ fn bench_sim(c: &mut Criterion) {
         let instrs = run_once(module, kernel, |d| vec![d.mem.alloc(4096 * 4, 8).unwrap()]);
         let mut g = c.benchmark_group("sim");
         g.throughput(Throughput::Elements(instrs));
-        g.bench_function(*label, |bench| {
+        g.bench_function(label, |bench| {
             bench.iter(|| run_once(module, kernel, |d| vec![d.mem.alloc(4096 * 4, 8).unwrap()]))
         });
         g.finish();

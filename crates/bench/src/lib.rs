@@ -22,14 +22,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaigns;
+pub mod exec;
+
 use serde::Serialize;
 use std::path::Path;
 
-/// Writes a JSON artifact under `results/`.
+/// Writes a JSON artifact under `results/`. `name` may contain `/` to
+/// target a subdirectory (e.g. `timings/table1`).
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
-    let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.json"));
+    let path = Path::new("results").join(format!("{name}.json"));
+    let created = path
+        .parent()
+        .is_none_or(|p| std::fs::create_dir_all(p).is_ok());
+    if created {
         if let Ok(s) = serde_json::to_string_pretty(value) {
             let _ = std::fs::write(path, s);
         }

@@ -173,7 +173,7 @@ pub struct InstrumentSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sassi_isa::{Gpr, Guard, Instr, MemAddr, MemWidth, Op, PredReg, Src};
+    use sassi_isa::{Gpr, Guard, Instr, MemAddr, MemWidth, Op, PredReg};
 
     fn store() -> Instr {
         Instr::new(Op::St {

@@ -167,7 +167,7 @@ fn instrumenting_a_spill_heavy_kernel_is_transparent() {
 fn fully_predicated_off_sites_still_trap() {
     // A store guarded by an always-false predicate: the paper's design
     // calls the handler anyway, with instrWillExecute = false.
-    use sassi_isa::{Guard, Instr, MemAddr, MemWidth, Op, PredReg, Src};
+    use sassi_isa::{Guard, Instr, MemAddr, MemWidth, Op, PredReg};
     let mut func = simple_kernel();
     // Build @!PT ST (never executes) and insert it before EXIT.
     let dead_store = Instr::guarded(
@@ -272,11 +272,7 @@ fn bb_headers_instrument_every_block() {
     let out = b.param_ptr(0);
     let p = b.setp_u32_lt(tid, 16u32);
     let r = b.var_u32(0u32);
-    b.if_else(
-        p,
-        |b| b.assign_imm(r, 1),
-        |b| b.assign_imm(r, 2),
-    );
+    b.if_else(p, |b| b.assign_imm(r, 1), |b| b.assign_imm(r, 2));
     let e = b.lea(out, tid, 2);
     b.st_global_u32(e, r);
     let func = Compiler::new().compile(&b.finish()).unwrap();
@@ -295,9 +291,13 @@ fn bb_headers_instrument_every_block() {
     );
     let func = sassi.apply(&func, 0);
     let (vals, _) = run(func, &mut sassi, 32);
-    for t in 0..32usize {
-        assert_eq!(vals[t], if t < 16 { 1 } else { 2 });
+    for (t, &v) in vals.iter().enumerate().take(32) {
+        assert_eq!(v, if t < 16 { 1 } else { 2 });
     }
     // Every block header executed at least once (both arms taken).
-    assert!(*hits.lock() >= n_headers, "hits {} < headers {n_headers}", hits.lock());
+    assert!(
+        *hits.lock() >= n_headers,
+        "hits {} < headers {n_headers}",
+        hits.lock()
+    );
 }

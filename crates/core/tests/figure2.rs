@@ -6,17 +6,25 @@
 
 use sassi::{layout, FnHandler, InfoFlags, Sassi, SiteFilter};
 use sassi_isa::{
-    CBankAddr, Function, FunctionMeta, Gpr, Guard, Instr, LogicOp, MemAddr, MemWidth, Op, PredReg,
-    Src,
+    CBankAddr, Function, FunctionMeta, Gpr, Guard, Instr, MemAddr, MemWidth, Op, PredReg, Src,
 };
 
 fn figure2_function() -> Function {
     // A live value in R0 and a live pointer in R10:R11 and a guard in
     // P0, like the paper's example; then `@P0 ST.E [R10], R0`.
     let instrs = vec![
-        Instr::new(Op::Mov32I { d: Gpr::new(0), imm: 42 }),
-        Instr::new(Op::Mov { d: Gpr::new(10), a: Src::Const(CBankAddr::new(0, 0x140)) }),
-        Instr::new(Op::Mov { d: Gpr::new(11), a: Src::Const(CBankAddr::new(0, 0x144)) }),
+        Instr::new(Op::Mov32I {
+            d: Gpr::new(0),
+            imm: 42,
+        }),
+        Instr::new(Op::Mov {
+            d: Gpr::new(10),
+            a: Src::Const(CBankAddr::new(0, 0x140)),
+        }),
+        Instr::new(Op::Mov {
+            d: Gpr::new(11),
+            a: Src::Const(CBankAddr::new(0, 0x144)),
+        }),
         Instr::new(Op::ISetP {
             p: PredReg::new(0),
             cmp: sassi_isa::CmpOp::Eq,
@@ -42,7 +50,11 @@ fn figure2_function() -> Function {
 #[test]
 fn trampoline_matches_figure2_shape() {
     let mut sassi = Sassi::new();
-    sassi.on_before(SiteFilter::MEMORY, InfoFlags::MEMORY, Box::new(FnHandler::free(|_| {})));
+    sassi.on_before(
+        SiteFilter::MEMORY,
+        InfoFlags::MEMORY,
+        Box::new(FnHandler::free(|_| {})),
+    );
     let func = figure2_function();
     let inst = sassi.apply(&func, 0);
 
@@ -53,7 +65,10 @@ fn trampoline_matches_figure2_shape() {
         .iter()
         .position(|i| matches!(i.op, Op::St { .. }) && i.is_guarded())
         .expect("original store preserved");
-    let region: Vec<String> = inst.instrs[..store_at].iter().map(|i| i.to_string()).collect();
+    let region: Vec<String> = inst.instrs[..store_at]
+        .iter()
+        .map(|i| i.to_string())
+        .collect();
     let listing = region.join("\n");
 
     // ① stack allocation of exactly 0x80 bytes (0x60 bp + 0x20 mp).
@@ -69,24 +84,45 @@ fn trampoline_matches_figure2_shape() {
     // ② live registers saved into GPRSpill: R0 at [R1+0x18], the
     // address pair R10:R11 at [R1+0x40]/[R1+0x44] — the exact slots of
     // Figure 2(a).
-    assert!(listing.contains("STL.SPILL [R1+0x18], R0"), "R0 spill:\n{listing}");
-    assert!(listing.contains("STL.SPILL [R1+0x40], R10"), "R10 spill:\n{listing}");
-    assert!(listing.contains("STL.SPILL [R1+0x44], R11"), "R11 spill:\n{listing}");
+    assert!(
+        listing.contains("STL.SPILL [R1+0x18], R0"),
+        "R0 spill:\n{listing}"
+    );
+    assert!(
+        listing.contains("STL.SPILL [R1+0x40], R10"),
+        "R10 spill:\n{listing}"
+    );
+    assert!(
+        listing.contains("STL.SPILL [R1+0x44], R11"),
+        "R11 spill:\n{listing}"
+    );
     // predicate and CC saves at 0x10/0x14.
     assert!(listing.contains("P2R R3"), "P2R missing");
     assert!(listing.contains("STL [R1+0x10], R3"), "PRSpill store");
     assert!(listing.contains("STL [R1+0x14], R3"), "CCSpill store");
     // ③ instrWillExecute from the guard (a SEL on P0) at [R1+0x4].
-    assert!(listing.contains("SEL R3, R8, 0, P0"), "willExecute SEL:\n{listing}");
+    assert!(
+        listing.contains("SEL R3, R8, 0, P0"),
+        "willExecute SEL:\n{listing}"
+    );
     assert!(listing.contains("STL [R1+0x4], R3"));
     // ④ insEncoding at [R1+0x58].
     assert!(listing.contains("STL [R1+0x58], R3"));
     // ⑤ mp.address as a 64-bit store at [R1+0x60].
-    assert!(listing.contains("STL.64 [R1+0x60], R6"), "mp.address:\n{listing}");
+    assert!(
+        listing.contains("STL.64 [R1+0x60], R6"),
+        "mp.address:\n{listing}"
+    );
     // ⑥ generic pointers: LOP.OR R4, R1, c[0x0][0x24] and the mp
     // pointer offset by 0x60 in R6.
-    assert!(listing.contains("LOP.OR R4, R1, c[0x0][0x24]"), "bp pointer:\n{listing}");
-    assert!(listing.contains("LOP.OR R6, R1, c[0x0][0x24]"), "mp pointer:\n{listing}");
+    assert!(
+        listing.contains("LOP.OR R4, R1, c[0x0][0x24]"),
+        "bp pointer:\n{listing}"
+    );
+    assert!(
+        listing.contains("LOP.OR R6, R1, c[0x0][0x24]"),
+        "mp pointer:\n{listing}"
+    );
     assert!(listing.contains("IADD R6, R6, 0x60"));
     // ⑦ the call.
     assert!(listing.contains("JCAL `handler0"), "JCAL:\n{listing}");
@@ -94,10 +130,16 @@ fn trampoline_matches_figure2_shape() {
     assert!(listing.contains("R2P PR, R3"), "R2P restore");
     assert!(listing.contains("LDL.SPILL R0, [R1+0x18]"));
     assert!(listing.contains("LDL.SPILL R10, [R1+0x40]"));
-    assert!(listing.contains("IADD R1, R1, 0x80"), "stack dealloc:\n{listing}");
+    assert!(
+        listing.contains("IADD R1, R1, 0x80"),
+        "stack dealloc:\n{listing}"
+    );
     // ⑨ the original instruction, bit-identical and still guarded.
     assert_eq!(inst.instrs[store_at], func.instrs[4]);
 
     // Registers outside the clobberable set are never spilled.
-    assert!(!listing.contains("STL.SPILL [R1+0x58]"), "R16+ must not be saved");
+    assert!(
+        !listing.contains("STL.SPILL [R1+0x58]"),
+        "R16+ must not be saved"
+    );
 }

@@ -338,7 +338,8 @@ mod tests {
                 }
                 Loc::Pair(r) => {
                     assert_eq!(r % 2, 0);
-                    assert!(*r != 0 || true);
+                    assert!(!a.scratch.contains(r));
+                    assert!(!a.scratch.contains(&(*r + 1)));
                     assert_ne!(*r, 1);
                 }
                 _ => {}

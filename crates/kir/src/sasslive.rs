@@ -75,8 +75,8 @@ impl SassCfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0usize;
-        for i in 1..n {
-            if leader[i] {
+        for (i, &is_leader) in leader.iter().enumerate().take(n).skip(1) {
+            if is_leader {
                 blocks.push(SassBlock { start, end: i });
                 start = i;
             }
@@ -85,8 +85,8 @@ impl SassCfg {
             blocks.push(SassBlock { start, end: n });
         }
         for (bi, b) in blocks.iter().enumerate() {
-            for i in b.start..b.end {
-                block_of[i] = bi;
+            for bo in &mut block_of[b.start..b.end] {
+                *bo = bi;
             }
         }
 

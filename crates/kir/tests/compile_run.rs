@@ -144,8 +144,8 @@ fn ffs_matches_cuda_semantics() {
     b.st_global_u32(e, f);
     let out = run1(b.finish(), 32, 32, &[]);
     assert_eq!(out[0], 0, "__ffs(0) = 0");
-    for t in 1..32usize {
-        assert_eq!(out[t], t as u32, "__ffs(1 << {}) = {}", t - 1, t);
+    for (t, &v) in out.iter().enumerate().take(32).skip(1) {
+        assert_eq!(v, t as u32, "__ffs(1 << {}) = {}", t - 1, t);
     }
 }
 
@@ -201,8 +201,8 @@ fn exit_if_terminates_lanes_early() {
     let two = b.iconst(2);
     b.st_global_u32(e, two);
     let out = run1(b.finish(), 32, 32, &[]);
-    for t in 0..32usize {
-        assert_eq!(out[t], if t < 16 { 2 } else { 1 }, "tid {t}");
+    for (t, &v) in out.iter().enumerate().take(32) {
+        assert_eq!(v, if t < 16 { 2 } else { 1 }, "tid {t}");
     }
 }
 
@@ -220,9 +220,9 @@ fn float_conversion_chain() {
     let e = b.lea(out, tid, 2);
     b.st_global_u32(e, i);
     let out = run1(b.finish(), 32, 32, &[]);
-    for t in 0..32usize {
+    for (t, &v) in out.iter().enumerate().take(32) {
         let want = (t as f32).mul_add(2.5, 0.5) as i32 as u32;
-        assert_eq!(out[t], want, "tid {t}");
+        assert_eq!(v, want, "tid {t}");
     }
 }
 
@@ -258,8 +258,8 @@ fn umulhi_and_wide_math() {
     let e = b.lea(out, tid, 2);
     b.st_global_u32(e, hi);
     let out = run1(b.finish(), 32, 32, &[]);
-    for t in 0..32usize {
-        assert_eq!(out[t], t as u32);
+    for (t, &v) in out.iter().enumerate().take(32) {
+        assert_eq!(v, t as u32);
     }
 }
 

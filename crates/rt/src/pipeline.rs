@@ -212,10 +212,12 @@ mod error_tests {
         // with high register pressure compiles WITH spill code.
         let mut h = KernelBuilder::abi_function("hfat");
         let ptr = h.abi_param_ptr(0);
-        let vals: Vec<_> = (0..18u32).map(|k| {
-            let base = h.ld_generic_u32(ptr, 4 * k as i32);
-            h.iadd(base, k)
-        }).collect();
+        let vals: Vec<_> = (0..18u32)
+            .map(|k| {
+                let base = h.ld_generic_u32(ptr, 4 * k as i32);
+                h.iadd(base, k)
+            })
+            .collect();
         let mut acc = h.iconst(0);
         for v in &vals {
             acc = h.iadd(acc, *v);

@@ -43,8 +43,11 @@ pub struct LaunchRecord {
     pub result: LaunchResult,
 }
 
-type LaunchCb = Box<dyn FnMut(&LaunchInfo, &mut Device)>;
-type ExitCb = Box<dyn FnMut(&LaunchInfo, &mut Device, &LaunchResult)>;
+// `Send` so a whole `Runtime` can move to a campaign-engine worker
+// thread; registered callbacks must capture `Send` state (e.g.
+// `Arc<Mutex<..>>`, as the instrumentation libraries already do).
+type LaunchCb = Box<dyn FnMut(&LaunchInfo, &mut Device) + Send>;
+type ExitCb = Box<dyn FnMut(&LaunchInfo, &mut Device, &LaunchResult) + Send>;
 
 /// CUPTI-style callback registry (paper §3.3): instrumentation
 /// libraries register kernel-launch callbacks to initialize device-side
@@ -58,14 +61,14 @@ pub struct Cupti {
 
 impl Cupti {
     /// Registers a kernel-launch callback.
-    pub fn on_kernel_launch(&mut self, cb: impl FnMut(&LaunchInfo, &mut Device) + 'static) {
+    pub fn on_kernel_launch(&mut self, cb: impl FnMut(&LaunchInfo, &mut Device) + Send + 'static) {
         self.on_launch.push(Box::new(cb));
     }
 
     /// Registers a kernel-exit callback.
     pub fn on_kernel_exit(
         &mut self,
-        cb: impl FnMut(&LaunchInfo, &mut Device, &LaunchResult) + 'static,
+        cb: impl FnMut(&LaunchInfo, &mut Device, &LaunchResult) + Send + 'static,
     ) {
         self.on_exit.push(Box::new(cb));
     }
@@ -251,8 +254,7 @@ mod tests {
     use crate::pipeline::ModuleBuilder;
     use sassi_kir::KernelBuilder;
     use sassi_sim::NoHandlers;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn copy_kernel() -> sassi_kir::KFunction {
         let mut b = KernelBuilder::kernel("copy");
@@ -299,16 +301,17 @@ mod tests {
         mb.add_kernel(copy_kernel());
         let module = mb.build(None).unwrap();
 
-        let log = Rc::new(RefCell::new(Vec::<String>::new()));
+        let log = Arc::new(Mutex::new(Vec::<String>::new()));
         let mut rt = Runtime::with_defaults();
         let l1 = log.clone();
         rt.cupti.on_kernel_launch(move |info, _dev| {
-            l1.borrow_mut()
+            l1.lock()
+                .unwrap()
                 .push(format!("launch:{}:{}", info.kernel, info.launch_index));
         });
         let l2 = log.clone();
         rt.cupti.on_kernel_exit(move |info, _dev, res| {
-            l2.borrow_mut().push(format!(
+            l2.lock().unwrap().push(format!(
                 "exit:{}:{}:{}",
                 info.kernel,
                 info.launch_index,
@@ -329,7 +332,7 @@ mod tests {
             .unwrap();
         }
         assert_eq!(
-            *log.borrow(),
+            *log.lock().unwrap(),
             vec![
                 "launch:copy:0",
                 "exit:copy:0:true",

@@ -73,6 +73,7 @@ impl Device {
     ///
     /// Host-side [`LaunchError`]s only; device faults and hangs are
     /// reported inside the returned [`LaunchResult`].
+    #[allow(clippy::too_many_arguments)]
     pub fn launch(
         &mut self,
         module: &Module,
@@ -192,11 +193,11 @@ impl Exec<'_> {
         let wpb = self.dims.warps_per_block();
         let by_warps = self.cfg.max_warps_per_sm / wpb;
         let shared = (self.kernel.meta.shared_bytes + 7) & !7;
-        let by_shared = if shared == 0 {
-            u32::MAX
-        } else {
-            self.cfg.shared_per_sm / shared
-        };
+        let by_shared = self
+            .cfg
+            .shared_per_sm
+            .checked_div(shared)
+            .unwrap_or(u32::MAX);
         self.cfg.max_ctas_per_sm.min(by_warps).min(by_shared).max(1)
     }
 
@@ -967,6 +968,7 @@ impl Exec<'_> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn mem_load(
         &mut self,
         wi: usize,

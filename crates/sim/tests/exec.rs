@@ -142,8 +142,8 @@ fn predication_gates_lanes() {
         Instr::guarded(Guard::on(p(0)), Op::Mov32I { d: r(20), imm: 7 }),
     ];
     let out = run_raw(body);
-    for lane in 0..32 {
-        assert_eq!(out[lane], if lane < 8 { 7 } else { 0 }, "lane {lane}");
+    for (lane, &v) in out.iter().enumerate().take(32) {
+        assert_eq!(v, if lane < 8 { 7 } else { 0 }, "lane {lane}");
     }
 }
 
@@ -200,8 +200,8 @@ fn shfl_bfly_swaps_neighbours() {
         }),
     ];
     let out = run_raw(body);
-    for lane in 0..32usize {
-        assert_eq!(out[lane], (lane ^ 1) as u32);
+    for (lane, &v) in out.iter().enumerate().take(32) {
+        assert_eq!(v, (lane ^ 1) as u32);
     }
 }
 
@@ -825,8 +825,8 @@ fn vote_all_any_under_divergence() {
         }),
     ];
     let out = run_raw(body);
-    for lane in 0..4 {
-        assert_eq!(out[lane], 1, "lane {lane} sees __all true");
+    for (lane, &v) in out.iter().enumerate().take(4) {
+        assert_eq!(v, 1, "lane {lane} sees __all true");
     }
 }
 

@@ -209,7 +209,7 @@ fn occupancy_respects_shared_memory() {
     let tid = b.tid_x();
     let out = b.param_ptr(0);
     let off = b.shl(tid, 2u32);
-    let addr = b.iadd(off, slot.offset as u32);
+    let addr = b.iadd(off, slot.offset);
     let v = b.imul(tid, 3u32);
     b.st_shared_u32(addr, 0, v);
     b.bar_sync();

@@ -164,7 +164,14 @@ pub fn run(w: &dyn Workload) -> BranchStudy {
     let st = state.lock();
     let mut per_branch: Vec<(u64, BranchStats)> =
         st.branches.iter().map(|(a, s)| (*a, *s)).collect();
-    per_branch.sort_by(|a, b| b.1.total_branches.cmp(&a.1.total_branches));
+    // Tie-break on address: `st.branches` is a HashMap, so equal
+    // counts would otherwise surface in nondeterministic order and
+    // break byte-identical reports across runs.
+    per_branch.sort_by(|a, b| {
+        b.1.total_branches
+            .cmp(&a.1.total_branches)
+            .then(a.0.cmp(&b.0))
+    });
     let dynamic_total: u64 = per_branch.iter().map(|(_, s)| s.total_branches).sum();
     let dynamic_divergent: u64 = per_branch.iter().map(|(_, s)| s.divergent_branches).sum();
     let static_divergent = per_branch

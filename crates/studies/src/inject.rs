@@ -100,13 +100,45 @@ pub struct InjectionSite {
     pub seed: u64,
 }
 
+/// Derives the seed for site `site_index` of a campaign.
+///
+/// The seed is a pure function of `(campaign_seed, workload,
+/// site_index)` — FNV-1a over the three components, a hash that is
+/// stable across platforms and releases (unlike `DefaultHasher`).
+/// Because no generator state is threaded between sites, site `k` is
+/// identical whether sites are drawn serially, in parallel, or alone.
+pub fn site_seed(campaign_seed: u64, workload: &str, site_index: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in campaign_seed
+        .to_le_bytes()
+        .iter()
+        .chain(workload.as_bytes())
+        .chain(&site_index.to_le_bytes())
+    {
+        h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// Selects `count` sites uniformly from the profiled space.
-pub fn select_sites(space: &InjectionSpace, count: usize, seed: u64) -> Vec<InjectionSite> {
-    let mut rng = StdRng::seed_from_u64(seed);
+///
+/// Each site is drawn from its own generator seeded by
+/// [`site_seed`], so the selection is order-independent: the engine
+/// can dispatch injections across workers in any order and still
+/// reproduce the exact site list of a serial run.
+pub fn select_sites(
+    space: &InjectionSpace,
+    count: usize,
+    seed: u64,
+    workload: &str,
+) -> Vec<InjectionSite> {
     let total = space.total();
     assert!(total > 0, "empty injection space");
     (0..count)
-        .map(|_| {
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(site_seed(seed, workload, i as u64));
             let mut pick = rng.gen_range(0..total);
             let mut launch = 0u64;
             for (li, &c) in space.per_launch.iter().enumerate() {
@@ -181,7 +213,7 @@ impl Handler for InjectHandler {
         if choice < 100 {
             // Flip one random bit of a 32-bit GPR destination.
             let reg = rp.reg_num(ctx.trap, choice) as u8;
-            let bit = rng.gen_range(0..32);
+            let bit: u32 = rng.gen_range(0..32);
             let old = ctx.trap.reg(lane, Gpr::new(reg));
             ctx.trap.set_reg(lane, Gpr::new(reg), old ^ (1 << bit));
             what = format!("R{reg} bit {bit} lane {lane}");
@@ -325,23 +357,53 @@ pub fn run_one(w: &dyn Workload, site: InjectionSite, watchdog: u64) -> Outcome 
     }
 }
 
-/// Runs a full campaign: profile, select `runs` sites, inject each.
-pub fn run_campaign(w: &dyn Workload, runs: usize, seed: u64) -> InjectionCampaign {
+/// The precomputed, dispatch-order-independent part of a campaign:
+/// every injection site plus the hang watchdog, fixed before any
+/// injection runs. Parallel engines fan the sites out and tally the
+/// outcomes back in site order.
+#[derive(Clone, Debug)]
+pub struct CampaignPlan {
+    /// Hang watchdog in cycles, scaled from the profiled run.
+    pub watchdog: u64,
+    /// All selected sites, in canonical (site-index) order.
+    pub sites: Vec<InjectionSite>,
+}
+
+/// Profiles `w` and precomputes all `runs` injection sites.
+pub fn plan_campaign(w: &dyn Workload, runs: usize, seed: u64) -> CampaignPlan {
     let (space, instr_cycles) = profile(w);
     let watchdog = instr_cycles * 4 + 2_000_000;
-    let sites = select_sites(&space, runs, seed);
+    let sites = select_sites(&space, runs, seed, &w.name());
+    CampaignPlan { watchdog, sites }
+}
+
+/// Folds per-site outcomes into Figure 10's category counts.
+pub fn tally(name: String, outcomes: &[Outcome]) -> InjectionCampaign {
     let mut counts: std::collections::HashMap<Outcome, u64> = Default::default();
-    for site in sites {
-        *counts.entry(run_one(w, site, watchdog)).or_default() += 1;
+    for &o in outcomes {
+        *counts.entry(o).or_default() += 1;
     }
     InjectionCampaign {
-        name: w.name(),
+        name,
         counts: Outcome::all()
             .iter()
             .map(|&o| (o, counts.get(&o).copied().unwrap_or(0)))
             .collect(),
-        runs: runs as u64,
+        runs: outcomes.len() as u64,
     }
+}
+
+/// Runs a full campaign serially: profile, select `runs` sites, inject
+/// each. The parallel engine produces bit-identical results by running
+/// [`plan_campaign`] + [`run_one`] per site + [`tally`].
+pub fn run_campaign(w: &dyn Workload, runs: usize, seed: u64) -> InjectionCampaign {
+    let plan = plan_campaign(w, runs, seed);
+    let outcomes: Vec<Outcome> = plan
+        .sites
+        .iter()
+        .map(|&site| run_one(w, site, plan.watchdog))
+        .collect();
+    tally(w.name(), &outcomes)
 }
 
 // `sassi_sim::FaultKind` used in matching above.

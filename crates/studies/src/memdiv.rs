@@ -38,9 +38,9 @@ impl MemDivState {
         let mut weighted = [0f64; 32];
         let mut total = 0f64;
         for active in 0..32 {
-            for unique in 0..32 {
-                let w = self.counters[active][unique] as f64 * (active as f64 + 1.0);
-                weighted[unique] += w;
+            for (wslot, &count) in weighted.iter_mut().zip(&self.counters[active]) {
+                let w = count as f64 * (active as f64 + 1.0);
+                *wslot += w;
                 total += w;
             }
         }

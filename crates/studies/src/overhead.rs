@@ -168,12 +168,27 @@ pub fn run(w: &dyn Workload) -> OverheadRow {
 }
 
 /// Harmonic mean over rows of a selected ratio.
+///
+/// Slowdown ratios are positive by construction; a zero or negative
+/// value would poison the reciprocal sum (yielding 0, a NaN or a
+/// negative "mean") while looking like a plausible table entry, so
+/// non-finite and non-positive inputs are skipped with a warning (and
+/// rejected outright in debug builds).
 pub fn harmonic_mean(values: impl Iterator<Item = f64>) -> f64 {
     let mut n = 0usize;
     let mut denom = 0f64;
     for v in values {
+        debug_assert!(
+            v.is_finite() && v > 0.0,
+            "harmonic_mean: non-positive ratio {v}"
+        );
+        let recip = 1.0 / v;
+        if !(v > 0.0 && recip.is_finite()) {
+            eprintln!("warning: harmonic_mean skipping non-positive ratio {v}");
+            continue;
+        }
         n += 1;
-        denom += 1.0 / v;
+        denom += recip;
     }
     if n == 0 {
         0.0
@@ -233,4 +248,48 @@ pub fn spill_ablation(w: &dyn Workload) -> (f64, f64) {
         live_total as f64 / sites as f64
     };
     (avg_live, 15.0) // save-everything = R0, R2..R15
+}
+
+#[cfg(test)]
+mod tests {
+    use super::harmonic_mean;
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(harmonic_mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_itself() {
+        assert!((harmonic_mean([2.5].into_iter()) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_pair() {
+        // hmean(1, 3) = 2 / (1 + 1/3) = 1.5
+        assert!((harmonic_mean([1.0, 3.0].into_iter()) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-positive ratio"))]
+    fn zero_is_rejected_not_absorbed() {
+        // Release builds skip the poisoned entry instead of silently
+        // returning 0; debug builds flag the bug at the call site.
+        let m = harmonic_mean([0.0, 2.0].into_iter());
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-positive ratio"))]
+    fn negative_is_rejected_not_averaged() {
+        let m = harmonic_mean([-4.0, 2.0].into_iter());
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-positive ratio"))]
+    fn nan_is_rejected() {
+        let m = harmonic_mean([f64::NAN, 2.0].into_iter());
+        assert!((m - 2.0).abs() < 1e-12);
+    }
 }

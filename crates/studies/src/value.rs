@@ -167,7 +167,12 @@ pub fn run(w: &dyn Workload) -> ValueRow {
     let (mut dyn_sc_num, mut dyn_sc_den) = (0f64, 0f64);
     let (mut st_cb_num, mut st_cb_den) = (0f64, 0f64);
     let (mut st_sc_num, mut st_sc_den) = (0f64, 0f64);
-    for prof in st.instrs.values() {
+    // Iterate in address order: HashMap order would vary between runs
+    // and f64 accumulation is not associative, so unsorted iteration
+    // can flip low bits of the ratios from run to run.
+    let mut by_addr: Vec<(&u64, &InstrProfile)> = st.instrs.iter().collect();
+    by_addr.sort_by_key(|(addr, _)| **addr);
+    for (_, prof) in by_addr {
         for d in &prof.dsts {
             let cb = d.constant_bits() as f64;
             dyn_cb_num += prof.weight as f64 * cb;

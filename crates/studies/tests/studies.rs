@@ -203,10 +203,26 @@ fn handler_counts_agree_with_simulator_statistics() {
     }
     let module = mb.build(None).unwrap();
     let mut rt = sassi_rt::Runtime::with_defaults();
-    let out = w.execute(&mut rt, &module, &mut sassi_sim::NoHandlers).unwrap();
+    let out = w
+        .execute(&mut rt, &module, &mut sassi_sim::NoHandlers)
+        .unwrap();
     let _ = out;
-    let cond: u64 = rt.records().iter().map(|r| r.result.stats.cond_branches).sum();
-    let div: u64 = rt.records().iter().map(|r| r.result.stats.divergent_branches).sum();
-    assert_eq!(cond, study.row.dynamic_total, "conditional-branch counts agree");
-    assert_eq!(div, study.row.dynamic_divergent, "divergent-branch counts agree");
+    let cond: u64 = rt
+        .records()
+        .iter()
+        .map(|r| r.result.stats.cond_branches)
+        .sum();
+    let div: u64 = rt
+        .records()
+        .iter()
+        .map(|r| r.result.stats.divergent_branches)
+        .sum();
+    assert_eq!(
+        cond, study.row.dynamic_total,
+        "conditional-branch counts agree"
+    );
+    assert_eq!(
+        div, study.row.dynamic_divergent,
+        "divergent-branch counts agree"
+    );
 }

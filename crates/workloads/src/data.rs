@@ -90,17 +90,17 @@ pub fn uniform_graph(n: usize, deg: usize, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     // A Hamiltonian-ish backbone keeps everything reachable.
-    for u in 0..n - 1 {
-        adj[u].push(u as u32 + 1);
+    for (u, edges) in adj.iter_mut().enumerate().take(n - 1) {
+        edges.push(u as u32 + 1);
     }
     // Near-constant out-degree: uniform random graphs drive wide, regular
     // frontiers, which is what keeps the paper's `1M` input convergent
     // relative to ragged road networks.
-    for u in 0..n {
+    for (u, edges) in adj.iter_mut().enumerate() {
         for _ in 0..deg {
             let v = rng.gen_range(0..n) as u32;
             if v as usize != u {
-                adj[u].push(v);
+                edges.push(v);
             }
         }
     }

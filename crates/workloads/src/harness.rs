@@ -58,7 +58,10 @@ pub fn check_outcome(res: &sassi_sim::LaunchResult) -> Result<(), RunFailure> {
 
 /// A benchmark application: kernels plus the host driver that feeds
 /// them data and collects results.
-pub trait Workload {
+///
+/// `Send` because the campaign engine hands boxed workloads to worker
+/// threads; implementations hold only owned data.
+pub trait Workload: Send {
     /// Display name, including the dataset (e.g. `bfs (NY)`).
     fn name(&self) -> String;
 

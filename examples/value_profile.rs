@@ -28,7 +28,7 @@ fn main() {
     assert!(rep.output.is_ok());
     let st = state.lock();
     let mut hot: Vec<_> = st.instrs.iter().collect();
-    hot.sort_by(|a, b| b.1.weight.cmp(&a.1.weight));
+    hot.sort_by_key(|(_, prof)| std::cmp::Reverse(prof.weight));
     println!("hottest register-writing instructions of b+tree:");
     for (addr, prof) in hot.iter().take(6) {
         println!("  pc {addr:#x} (executed {} times)", prof.weight);

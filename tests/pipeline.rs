@@ -28,7 +28,7 @@ fn shared_memory_barrier_and_shuffle_under_instrumentation() {
     let k63 = b.iconst(63);
     let rev = b.isub(k63, tid);
     let off = b.shl(rev, 2u32);
-    let base = b.iconst(tile.offset as u32);
+    let base = b.iconst(tile.offset);
     let addr = b.iadd(off, base);
     b.st_shared_u32(addr, 0, v);
     b.bar_sync();
@@ -277,10 +277,22 @@ fn instrumentation_preserves_global_traffic() {
         let buf = rt.alloc_zeroed_u32(4096);
         let res = match sassi {
             Some(s) => rt
-                .launch(&module, "traffic", LaunchDims::linear(8, 128), &[buf.addr], s)
+                .launch(
+                    &module,
+                    "traffic",
+                    LaunchDims::linear(8, 128),
+                    &[buf.addr],
+                    s,
+                )
                 .unwrap(),
             None => rt
-                .launch(&module, "traffic", LaunchDims::linear(8, 128), &[buf.addr], &mut NoHandlers)
+                .launch(
+                    &module,
+                    "traffic",
+                    LaunchDims::linear(8, 128),
+                    &[buf.addr],
+                    &mut NoHandlers,
+                )
                 .unwrap(),
         };
         assert!(res.is_ok());
@@ -289,7 +301,11 @@ fn instrumentation_preserves_global_traffic() {
 
     let base = run(None);
     let mut sassi = Sassi::new();
-    sassi.on_before(SiteFilter::ALL, InfoFlags::NONE, Box::new(FnHandler::free(|_| {})));
+    sassi.on_before(
+        SiteFilter::ALL,
+        InfoFlags::NONE,
+        Box::new(FnHandler::free(|_| {})),
+    );
     let traced = run(Some(&mut sassi));
     assert_eq!(
         base.transactions, traced.transactions,

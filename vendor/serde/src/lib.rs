@@ -1,0 +1,414 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a compatible-in-spirit serialization facade: types derive
+//! [`Serialize`]/[`Deserialize`] exactly as with real serde, but the
+//! data model is a concrete [`Value`] tree rather than serde's
+//! visitor machinery. `serde_json` (also vendored) renders that tree.
+//!
+//! Field order is declaration order and map rendering preserves
+//! insertion order, so serialized output is a pure function of the
+//! data — the property the deterministic campaign engine relies on
+//! for byte-identical `results/*.json` across `--jobs` settings.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The serialization data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (only used for negative values).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError(format!("expected {what}, got {got:?}"))
+    }
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the tree does not match the expected shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------- primitives --
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    _ => Err(DeError::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 { Value::U64(*self as u64) } else { Value::I64(*self as i64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    _ => Err(DeError::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(DeError::expected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ------------------------------------------------------ compositions --
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        <[T; N]>::try_from(items).map_err(|e| DeError(format!("expected {N} elements, got {e:?}")))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+/// Map-key types (JSON object keys are strings).
+pub trait MapKey: Sized {
+    /// Parses the key back from its string form.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the text does not parse as `Self`.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+macro_rules! int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn from_key(s: &str) -> Result<$t, DeError> {
+                s.parse().map_err(|_| DeError(format!(
+                    "bad {} map key `{s}`", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MapKey for String {
+    fn from_key(s: &str) -> Result<String, DeError> {
+        Ok(s.to_owned())
+    }
+}
+
+impl<K: Deserialize + MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => Err(DeError::expected("map", v)),
+        }
+    }
+}
+
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), DeError> {
+                match v {
+                    Value::Seq(items) => Ok(($(
+                        $t::from_value(
+                            items.get($n).ok_or_else(|| DeError::expected("tuple element", v))?
+                        )?,
+                    )+)),
+                    _ => Err(DeError::expected("tuple (array)", v)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Looks up a struct field inside a serialized map (derive support).
+///
+/// # Errors
+///
+/// [`DeError`] when `key` is absent.
+pub fn map_field<'a>(m: &'a [(String, Value)], key: &str) -> Result<&'a Value, DeError> {
+    m.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{key}`")))
+}
+
+/// Indexes into a serialized sequence (derive support).
+///
+/// # Errors
+///
+/// [`DeError`] when `idx` is out of bounds.
+pub fn seq_element<'a>(
+    items: &'a [Value],
+    idx: usize,
+    whole: &Value,
+) -> Result<&'a Value, DeError> {
+    items
+        .get(idx)
+        .ok_or_else(|| DeError(format!("missing element {idx} in {whole:?}")))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&String::from("x").to_value()),
+            Ok(String::from("x"))
+        );
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1u64, 2.5f64), (3, 4.5)];
+        let tree = v.to_value();
+        assert_eq!(Vec::<(u64, f64)>::from_value(&tree), Ok(v));
+        let arr = [7u64; 3];
+        assert_eq!(<[u64; 3]>::from_value(&arr.to_value()), Ok(arr));
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn narrowing_is_checked() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::Str(String::new())).is_err());
+    }
+}

@@ -1,0 +1,497 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-tree `serde` facade, without `syn`/`quote` (which are
+//! equally unavailable offline). A small hand-rolled token walker
+//! parses the item shapes this workspace actually uses:
+//!
+//! - structs with named fields,
+//! - tuple structs (any arity; arity 1 serializes transparently),
+//! - unit structs,
+//! - enums with unit, tuple and struct variants.
+//!
+//! Generics are rejected with a compile error — no serialized type in
+//! the workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------- model --
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ----------------------------------------------------------- parsing --
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips one type (or discriminant expression): everything up to a
+    /// comma at angle-bracket depth 0. Stray `>` from `->` is clamped.
+    fn skip_until_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = (depth - 1).max(0),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn eat_ident(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == c => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        let Some(name) = c.eat_ident() else { break };
+        names.push(name);
+        if !c.eat_punct(':') {
+            break;
+        }
+        c.skip_until_comma();
+        if !c.eat_punct(',') {
+            break;
+        }
+    }
+    names
+}
+
+fn parse_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut n = 0;
+    while c.peek().is_some() {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        n += 1;
+        c.skip_until_comma();
+        if !c.eat_punct(',') {
+            break;
+        }
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut out = Vec::new();
+    loop {
+        c.skip_attributes();
+        let Some(name) = c.eat_ident() else { break };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                c.pos += 1;
+                Fields::Named(names)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream());
+                c.pos += 1;
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        if c.eat_punct('=') {
+            c.skip_until_comma(); // explicit discriminant
+        }
+        out.push(Variant { name, fields });
+        if !c.eat_punct(',') {
+            break;
+        }
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c
+        .eat_ident()
+        .ok_or_else(|| "expected `struct` or `enum`".to_string())?;
+    let name = c
+        .eat_ident()
+        .ok_or_else(|| "expected item name".to_string())?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                variants: parse_variants(g.stream()),
+                name,
+            }),
+            _ => Err(format!("enum `{name}` has no body")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// -------------------------------------------------------- generation --
+
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("__f{i}")).collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pairs: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", pairs.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders = tuple_binders(*n);
+                            let inner = if *n == 1 {
+                                format!("::serde::Serialize::to_value({})", binders[0])
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let pairs: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                fs.join(", "),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_named_ctor(path: &str, fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 ::serde::map_field({map_expr}, \"{f}\")?)?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let ctor = gen_named_ctor(name, fs, "__m");
+                    format!(
+                        "match __v {{\n\
+                             ::serde::Value::Map(__m) => ::std::result::Result::Ok({ctor}),\n\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"map for {name}\", __v)),\n\
+                         }}"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let gets: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(\
+                                 ::serde::seq_element(__items, {i}, __v)?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match __v {{\n\
+                             ::serde::Value::Seq(__items) => \
+                                 ::std::result::Result::Ok({name}({})),\n\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"sequence for {name}\", __v)),\n\
+                         }}",
+                        gets.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<{name}, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         ::serde::seq_element(__items, {i}, __inner)?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                     ::serde::Value::Seq(__items) => \
+                                         ::std::result::Result::Ok({name}::{vn}({})),\n\
+                                     _ => ::std::result::Result::Err(\
+                                         ::serde::DeError::expected(\
+                                         \"sequence for {name}::{vn}\", __inner)),\n\
+                                 }},",
+                                gets.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let ctor = gen_named_ctor(&format!("{name}::{vn}"), fs, "__fm");
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                     ::serde::Value::Map(__fm) => \
+                                         ::std::result::Result::Ok({ctor}),\n\
+                                     _ => ::std::result::Result::Err(\
+                                         ::serde::DeError::expected(\
+                                         \"map for {name}::{vn}\", __inner)),\n\
+                                 }},",
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 _ => ::std::result::Result::Err(\
+                                     ::serde::DeError::expected(\
+                                     \"variant of {name}\", __v)),\n\
+                             }},\n\
+                             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__m[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {}\n\
+                                     _ => ::std::result::Result::Err(\
+                                         ::serde::DeError::expected(\
+                                         \"variant of {name}\", __v)),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"{name}\", __v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("vendored serde_derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

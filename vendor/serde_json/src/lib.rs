@@ -1,0 +1,391 @@
+//! Offline stand-in for `serde_json` over the vendored `serde` facade.
+//!
+//! Rendering is deterministic: key order is the serializer's insertion
+//! order, floats print via Rust's shortest-roundtrip formatter, and
+//! indentation matches real serde_json's `to_string_pretty` (two
+//! spaces). The deterministic campaign engine relies on this to make
+//! `results/*.json` byte-identical regardless of `--jobs`.
+
+#![forbid(unsafe_code)]
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// JSON error (serialization is infallible; parsing is not).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+// ----------------------------------------------------------- writing --
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = format!("{f:?}");
+        out.push_str(&s);
+    } else {
+        // Real serde_json refuses non-finite floats; render null like
+        // its `Value` pathway does.
+        out.push_str("null");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => push_f64(out, *f),
+        Value::Str(s) => push_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                push_escaped(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors real serde_json's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, false);
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors real serde_json's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, true);
+    Ok(out)
+}
+
+// ----------------------------------------------------------- parsing --
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\t' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map(|n| Value::I64(-(n as i64)))
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    entries.push((key, self.value()?));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => self.err(&format!("unexpected byte `{}`", b as char)),
+        }
+    }
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(T::from_value(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_like_serde_json() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Seq(vec![Value::F64(1.5), Value::Null])),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[1.5,null]}"#);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    1.5,\n    null\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"x": [1, -2, 3.25, "s\n", true, null], "y": {}}"#;
+        let v: Value = from_str(text).unwrap();
+        let rendered = to_string(&v).unwrap();
+        let v2: Value = from_str(&rendered).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let rows = vec![(1u64, 2.5f64, String::from("nn"))];
+        let text = to_string_pretty(&rows).unwrap();
+        let back: Vec<(u64, f64, String)> = from_str(&text).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
