@@ -1,12 +1,20 @@
 //! Criterion benchmark: raw simulator throughput (warp instructions per
-//! second) on convergent, divergent and memory-bound kernels.
+//! second) on convergent, divergent and memory-bound kernels, with the
+//! pre-decoded µop interpreter benchmarked head-to-head against the
+//! reference (seed) interpreter on every kernel.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sassi_kir::{Compiler, KernelBuilder};
-use sassi_sim::{Device, LaunchDims, Module, NoHandlers};
+use sassi_sim::{Device, ExecMode, LaunchDims, Module, NoHandlers};
 
-fn run_once(module: &Module, kernel: &str, params_make: impl Fn(&mut Device) -> Vec<u64>) -> u64 {
+fn run_once(
+    module: &Module,
+    kernel: &str,
+    mode: ExecMode,
+    params_make: impl Fn(&mut Device) -> Vec<u64>,
+) -> u64 {
     let mut dev = Device::with_defaults();
+    dev.exec_mode = mode;
     let params = params_make(&mut dev);
     let res = dev
         .launch(
@@ -82,12 +90,23 @@ fn bench_sim(c: &mut Criterion) {
         ("memory_bound", memory_kernel(), "mem"),
     ];
     for (label, module, kernel) in &cases {
-        let instrs = run_once(module, kernel, |d| vec![d.mem.alloc(4096 * 4, 8).unwrap()]);
+        let instrs = run_once(module, kernel, ExecMode::Decoded, |d| {
+            vec![d.mem.alloc(4096 * 4, 8).unwrap()]
+        });
         let mut g = c.benchmark_group("sim");
         g.throughput(Throughput::Elements(instrs));
-        g.bench_function(label, |bench| {
-            bench.iter(|| run_once(module, kernel, |d| vec![d.mem.alloc(4096 * 4, 8).unwrap()]))
-        });
+        for (mode, suffix) in [
+            (ExecMode::Decoded, "decoded"),
+            (ExecMode::Reference, "reference"),
+        ] {
+            g.bench_function(&format!("{label}/{suffix}"), |bench| {
+                bench.iter(|| {
+                    run_once(module, kernel, mode, |d| {
+                        vec![d.mem.alloc(4096 * 4, 8).unwrap()]
+                    })
+                })
+            });
+        }
         g.finish();
     }
 }

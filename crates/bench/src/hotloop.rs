@@ -1,0 +1,151 @@
+//! The hot-loop comparison behind `repro hotloop`: the same workload
+//! set executed by the pre-decoded µop interpreter and by the reference
+//! (seed-semantics) interpreter, with per-instruction-class issue
+//! counters from the decoded run — the where-do-cycles-go artifact
+//! future perf PRs diff against (`results/timings/sim_hot_loop.json`).
+
+use crate::exec::{run_units, WorkloadCache};
+use sassi_rt::{ModuleBuilder, Runtime};
+use sassi_sim::{ExecMode, IssueCounters, NoHandlers};
+use serde::Serialize;
+
+/// The workloads the hot-loop comparison executes: convergent compute
+/// (`sgemm`), divergent graph traversal (`bfs`), scattered memory
+/// (`spmv`), shared-memory stencil (`hotspot`), SFU-heavy math
+/// (`mri-q`) and an atomics/barrier mix (`streamcluster`).
+pub const HOTLOOP_SET: &[&str] = &[
+    "sgemm (medium)",
+    "bfs (1M)",
+    "spmv (large)",
+    "hotspot",
+    "mri-q",
+    "streamcluster",
+];
+
+/// One interpreter's side of the comparison.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ModeRun {
+    /// End-to-end wall-clock seconds for the sweep.
+    pub wall_s: f64,
+    /// Summed per-unit compute seconds (scheduling-independent).
+    pub busy_s: f64,
+    /// Warp-level instructions interpreted.
+    pub warp_instrs: u64,
+    /// Thread-level instructions interpreted.
+    pub thread_instrs: u64,
+    /// Warp instructions interpreted per busy second.
+    pub instrs_per_s: f64,
+}
+
+/// The full artifact written to `results/timings/sim_hot_loop.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct HotLoopReport {
+    /// Workload display names executed (once each, per mode).
+    pub workloads: Vec<String>,
+    /// Worker threads used for each sweep.
+    pub jobs: usize,
+    /// The pre-decoded µop interpreter (`ExecMode::Decoded`).
+    pub decoded: ModeRun,
+    /// The seed-semantics interpreter (`ExecMode::Reference`).
+    pub reference: ModeRun,
+    /// reference busy time / decoded busy time.
+    pub speedup: f64,
+    /// Per-instruction-class issue counts (identical across modes;
+    /// taken from the decoded run).
+    pub issue: IssueCounters,
+}
+
+fn sweep(mode: ExecMode, jobs: usize) -> (ModeRun, IssueCounters) {
+    let (per_unit, timing) = run_units(
+        jobs,
+        HOTLOOP_SET,
+        WorkloadCache::default,
+        |cache, name, _| {
+            let w = cache.get(name);
+            let mut mb = ModuleBuilder::new();
+            for k in w.kernels() {
+                mb.add_kernel(k);
+            }
+            let module = mb.build(None).expect("build");
+            let mut rt = Runtime::with_defaults();
+            rt.device.exec_mode = mode;
+            let out = w.execute(&mut rt, &module, &mut NoHandlers);
+            assert!(out.is_ok(), "{name}: {:?}", out.err());
+            let mut issue = IssueCounters::default();
+            let (mut wi, mut ti) = (0u64, 0u64);
+            for r in rt.records() {
+                wi += r.result.stats.warp_instrs;
+                ti += r.result.stats.thread_instrs;
+                let i = r.result.stats.issue;
+                issue.memory += i.memory;
+                issue.control += i.control;
+                issue.numeric += i.numeric;
+                issue.misc += i.misc;
+            }
+            (wi, ti, issue)
+        },
+    );
+    let mut issue = IssueCounters::default();
+    let (mut wi, mut ti) = (0u64, 0u64);
+    for (w, t, i) in &per_unit {
+        wi += w;
+        ti += t;
+        issue.memory += i.memory;
+        issue.control += i.control;
+        issue.numeric += i.numeric;
+        issue.misc += i.misc;
+    }
+    let run = ModeRun {
+        wall_s: timing.wall_s,
+        busy_s: timing.busy_s,
+        warp_instrs: wi,
+        thread_instrs: ti,
+        instrs_per_s: if timing.busy_s > 0.0 {
+            wi as f64 / timing.busy_s
+        } else {
+            0.0
+        },
+    };
+    (run, issue)
+}
+
+/// Runs the comparison (decoded first, then reference) and returns the
+/// report. The issue-class breakdown is asserted identical across modes
+/// — a cheap online rerun of the decode-equivalence property.
+pub fn compare(jobs: usize) -> HotLoopReport {
+    let (decoded, issue_d) = sweep(ExecMode::Decoded, jobs);
+    let (reference, issue_r) = sweep(ExecMode::Reference, jobs);
+    assert_eq!(
+        issue_d, issue_r,
+        "issue-class counters diverge between interpreters"
+    );
+    assert_eq!(decoded.warp_instrs, reference.warp_instrs);
+    assert_eq!(decoded.thread_instrs, reference.thread_instrs);
+    HotLoopReport {
+        workloads: HOTLOOP_SET.iter().map(|s| s.to_string()).collect(),
+        jobs,
+        speedup: if decoded.busy_s > 0.0 {
+            reference.busy_s / decoded.busy_s
+        } else {
+            1.0
+        },
+        decoded,
+        reference,
+        issue: issue_d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotloop_set_names_resolve() {
+        for name in HOTLOOP_SET {
+            assert!(
+                sassi_workloads::by_name(name).is_some(),
+                "unknown workload `{name}` in HOTLOOP_SET"
+            );
+        }
+    }
+}

@@ -175,12 +175,48 @@ impl Default for Guard {
 }
 
 /// A machine instruction: an operation under a guard predicate.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(PartialEq, Debug, Serialize, Deserialize)]
 pub struct Instr {
     /// The guard predicate; lanes where it is false skip the operation.
     pub guard: Guard,
     /// The operation and its operands.
     pub op: Op,
+}
+
+// Hand-written so debug builds can count clones: the simulator's
+// pre-decoded hot loop must never clone an `Instr` per step, and the
+// differential tests assert that via [`clone_count`].
+impl Clone for Instr {
+    fn clone(&self) -> Instr {
+        #[cfg(debug_assertions)]
+        clone_count::bump();
+        Instr {
+            guard: self.guard,
+            op: self.op.clone(),
+        }
+    }
+}
+
+/// Debug-build accounting of [`Instr`] clones, used by tests to prove
+/// the simulator hot loop is clone-free (compile passes like linking
+/// legitimately clone, so callers snapshot around the region of
+/// interest).
+#[cfg(debug_assertions)]
+pub mod clone_count {
+    use std::cell::Cell;
+
+    thread_local! {
+        static COUNT: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn bump() {
+        COUNT.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Total `Instr` clones performed by this thread so far.
+    pub fn current() -> u64 {
+        COUNT.with(Cell::get)
+    }
 }
 
 impl Instr {

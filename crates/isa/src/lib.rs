@@ -54,6 +54,8 @@ mod rw;
 mod space;
 
 pub use class::{InstrClass, OpcodeKind};
+#[cfg(debug_assertions)]
+pub use instr::clone_count;
 pub use instr::{Guard, Instr, Label, MemAddr, Src};
 pub use op::{
     AtomOp, CmpOp, FloatWidth, IntWidth, LogicOp, MemWidth, MufuFunc, Op, ShflMode, VoteMode,

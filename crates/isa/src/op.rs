@@ -525,3 +525,22 @@ pub enum Op {
     /// `NOP`.
     Nop,
 }
+
+impl Op {
+    /// The control-transfer target of the operation, if it has one —
+    /// the operand a linker relocates and a decoder resolves.
+    pub fn target(&self) -> Option<&Label> {
+        match self {
+            Op::Bra { target, .. } | Op::Ssy { target } | Op::Jcal { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the control-transfer target, if any.
+    pub fn target_mut(&mut self) -> Option<&mut Label> {
+        match self {
+            Op::Bra { target, .. } | Op::Ssy { target } | Op::Jcal { target } => Some(target),
+            _ => None,
+        }
+    }
+}

@@ -96,7 +96,10 @@ impl ModuleBuilder {
     }
 
     /// Compiles everything, applies `sassi` to the kernels (not to
-    /// handlers), and links.
+    /// handlers), and links. The linked module comes back pre-decoded:
+    /// `Module::link` lowers the instruction stream into the flat µop
+    /// array (and trap-site bitmap) the simulator's hot loop executes,
+    /// so no launch ever pays a decode cost.
     ///
     /// # Errors
     ///
@@ -122,6 +125,26 @@ impl ModuleBuilder {
             funcs.push(f);
         }
         Ok(Module::link(&funcs)?)
+    }
+
+    /// Per-function instrumentation density of a built module: for each
+    /// linked function, `(name, trap_sites, instructions)` — how many
+    /// of its instructions were rewritten into handler trap sites by
+    /// the SASSI pass. Read from the decode stage's trap-site bitmap,
+    /// so it costs no instruction scan.
+    pub fn instrumentation_density(module: &Module) -> Vec<(String, u32, u32)> {
+        let decoded = module.decoded();
+        module
+            .functions
+            .iter()
+            .map(|f| {
+                (
+                    f.name.clone(),
+                    decoded.trap_sites_in(f.entry, f.end),
+                    f.end - f.entry,
+                )
+            })
+            .collect()
     }
 }
 
@@ -162,6 +185,28 @@ mod tests {
         );
         let inst = mb.build(Some(&sassi)).unwrap();
         assert!(inst.code.len() > plain.code.len());
+    }
+
+    #[test]
+    fn instrumentation_density_counts_trap_sites() {
+        let mut mb = ModuleBuilder::new();
+        mb.add_kernel(trivial_kernel("a"));
+        let plain = mb.build(None).unwrap();
+        assert!(ModuleBuilder::instrumentation_density(&plain)
+            .iter()
+            .all(|(_, traps, _)| *traps == 0));
+
+        let mut sassi = Sassi::new();
+        sassi.on_before(
+            SiteFilter::ALL,
+            InfoFlags::NONE,
+            Box::new(FnHandler::free(|_| {})),
+        );
+        let inst = mb.build(Some(&sassi)).unwrap();
+        let density = ModuleBuilder::instrumentation_density(&inst);
+        let (_, traps, instrs) = density.iter().find(|(n, _, _)| n == "a").unwrap();
+        assert!(*traps > 0, "every-site instrumentation must add traps");
+        assert!(traps < instrs);
     }
 
     #[test]

@@ -17,8 +17,9 @@ pub struct DevBuf {
 }
 
 impl DevBuf {
-    /// The address of element `i` of a `u32` array.
-    pub fn u32_at(&self, i: u64) -> u64 {
+    /// The device *address* of element `i` of a `u32` array (not the
+    /// element's value — read that with [`Runtime::read_u32`]).
+    pub fn u32_addr(&self, i: u64) -> u64 {
         self.addr + 4 * i
     }
 }

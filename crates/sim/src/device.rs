@@ -8,16 +8,19 @@
 //! dictates.
 
 use crate::config::{GpuConfig, LaunchDims};
+use crate::decode::{DSrc, DecodedModule, UOp, GUARD_ALWAYS};
 use crate::module::{LinkedFunction, Module};
 use crate::stats::{FaultInfo, FaultKind, KernelOutcome, LaunchResult, LaunchStats};
 use crate::trap::{HandlerRuntime, TrapCtx};
 use crate::warp::{Warp, WarpStatus};
 use sassi_isa::{
-    cbank0, resolve_generic, AddrSpace, AtomOp, CmpOp, Gpr, Instr, Label, LaneMask, LogicOp,
-    MemAddr, MemWidth, Op, ShflMode, SpecialReg, Src, VoteMode,
+    cbank0, resolve_generic, AddrSpace, AtomOp, Gpr, LaneMask, LogicOp, MemAddr, MemWidth, PredReg,
+    ShflMode, SpecialReg, VoteMode,
 };
 use sassi_mem::{DeviceMemory, MemError, MemoryHierarchy};
 use std::fmt;
+
+mod reference;
 
 /// Host-side launch misuse (distinct from device faults, which are
 /// reported in [`LaunchResult`]).
@@ -40,6 +43,21 @@ impl fmt::Display for LaunchError {
 
 impl std::error::Error for LaunchError {}
 
+/// Which interpreter loop [`Device::launch`] executes.
+///
+/// Both modes are bit-exact: identical `LaunchResult`s, stats and
+/// memory effects. `Reference` exists as the differential-testing
+/// oracle for the pre-decoded fast path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Execute the link-time pre-decoded µop array (the fast path).
+    #[default]
+    Decoded,
+    /// Execute directly from the linked `Instr` array (the original
+    /// seed semantics).
+    Reference,
+}
+
 /// The simulated GPU: configuration, global memory and the cache
 /// hierarchy. Memory contents persist across launches, so hosts can
 /// allocate buffers once and run many kernels, CUDA-style.
@@ -48,6 +66,9 @@ pub struct Device {
     pub cfg: GpuConfig,
     /// Global device memory.
     pub mem: DeviceMemory,
+    /// Which interpreter loop `launch` runs (defaults to the decoded
+    /// fast path; flip to `Reference` for differential testing).
+    pub exec_mode: ExecMode,
     hier: MemoryHierarchy,
 }
 
@@ -57,6 +78,7 @@ impl Device {
         Device {
             cfg,
             mem: DeviceMemory::new(heap_bytes),
+            exec_mode: ExecMode::default(),
             hier: MemoryHierarchy::new(cfg.num_sms as usize, cfg.hierarchy),
         }
     }
@@ -86,8 +108,7 @@ impl Device {
     ) -> Result<LaunchResult, LaunchError> {
         let kf = module
             .function(kernel)
-            .ok_or_else(|| LaunchError::UnknownKernel(kernel.to_string()))?
-            .clone();
+            .ok_or_else(|| LaunchError::UnknownKernel(kernel.to_string()))?;
         let wpb = dims.warps_per_block();
         if wpb == 0 || dims.total_blocks() == 0 {
             return Err(LaunchError::BadGeometry("empty grid or block".into()));
@@ -110,9 +131,11 @@ impl Device {
         let mut exec = Exec {
             cfg: &self.cfg,
             module,
-            kernel: &kf,
+            decoded: module.decoded(),
+            mode: self.exec_mode,
+            kernel: kf,
             dims,
-            cbank: build_cbank0(&self.cfg, &kf, dims, params),
+            cbank: build_cbank0(&self.cfg, kf, dims, params),
             mem: &mut self.mem,
             hier: &mut self.hier,
             runtime,
@@ -171,6 +194,8 @@ struct Cta {
 struct Exec<'a> {
     cfg: &'a GpuConfig,
     module: &'a Module,
+    decoded: &'a DecodedModule,
+    mode: ExecMode,
     kernel: &'a LinkedFunction,
     dims: LaunchDims,
     cbank: Vec<u8>,
@@ -188,7 +213,7 @@ struct Exec<'a> {
     stats: LaunchStats,
 }
 
-impl Exec<'_> {
+impl<'a> Exec<'a> {
     fn ctas_per_sm(&self) -> u32 {
         let wpb = self.dims.warps_per_block();
         let by_warps = self.cfg.max_warps_per_sm / wpb;
@@ -363,10 +388,10 @@ impl Exec<'_> {
         }
     }
 
-    fn const_read(&self, bank: u8, offset: u16) -> u32 {
-        if bank != 0 {
-            return 0;
-        }
+    /// Reads 4 bytes of the bank-0 constant image (out-of-image reads
+    /// return 0, matching hardware's zero-backed tail).
+    #[inline(always)]
+    fn c0_read(&self, offset: u16) -> u32 {
         let off = offset as usize;
         if off + 4 > self.cbank.len() {
             return 0;
@@ -374,22 +399,33 @@ impl Exec<'_> {
         u32::from_le_bytes(self.cbank[off..off + 4].try_into().unwrap())
     }
 
-    fn src_val(&self, w: &Warp, lane: usize, s: &Src) -> u32 {
+    /// Resolves a pre-decoded operand for this warp-step: constants
+    /// and immediates become values here, once; only registers remain
+    /// per-lane work.
+    #[inline(always)]
+    fn rsrc(&self, s: DSrc) -> RSrc {
         match s {
-            Src::Reg(r) => w.reg(lane, *r),
-            Src::Imm(v) => *v,
-            Src::Const(c) => self.const_read(c.bank, c.offset),
+            DSrc::Reg(r) => RSrc::Reg(r),
+            DSrc::Imm(v) => RSrc::Val(v),
+            DSrc::C0(off) => RSrc::Val(self.c0_read(off)),
         }
     }
 
-    fn guard_mask(&self, w: &Warp, ins: &Instr) -> LaneMask {
-        if ins.guard.is_always() {
+    /// Guard evaluation from the packed guard byte.
+    fn guard_mask_decoded(&self, w: &Warp, g: u8) -> LaneMask {
+        if g == GUARD_ALWAYS {
             return w.active;
         }
+        let idx = g & 7;
+        let p = if idx == 7 {
+            PredReg::PT
+        } else {
+            PredReg::new(idx)
+        };
+        let neg = g & 0x80 != 0;
         let mut m = 0u32;
         for lane in w.active_lanes() {
-            let p = w.pred(lane, ins.guard.pred);
-            if p != ins.guard.neg {
+            if w.pred(lane, p) != neg {
                 m |= 1 << lane;
             }
         }
@@ -399,47 +435,55 @@ impl Exec<'_> {
     /// Executes one instruction of warp `wi`. Returns a fault kind on
     /// abort.
     fn step(&mut self, wi: usize, sm: usize) -> Result<(), FaultKind> {
-        let pc = self.warps[wi].pc;
-        if pc as usize >= self.module.code.len() {
-            return Err(FaultKind::InvalidPc { pc: pc as u64 });
+        match self.mode {
+            ExecMode::Decoded => self.step_decoded(wi, sm),
+            ExecMode::Reference => self.step_reference(wi, sm),
         }
-        let ins = self.module.code[pc as usize].clone();
-        let mask = self.guard_mask(&self.warps[wi], &ins);
+    }
+
+    /// The pre-decoded hot loop: executes one µop with no allocation,
+    /// no `Instr` clone and no operand re-matching.
+    fn step_decoded(&mut self, wi: usize, sm: usize) -> Result<(), FaultKind> {
+        // Copying the `&'a` reference out of `self` unties the
+        // instruction from the `&mut self` borrow, so the borrow
+        // checker permits mutating warp/stat state while `di` lives.
+        let dm: &'a DecodedModule = self.decoded;
+        let pc = self.warps[wi].pc;
+        let Some(di) = dm.get(pc) else {
+            return Err(FaultKind::InvalidPc { pc: pc as u64 });
+        };
+        let mask = self.guard_mask_decoded(&self.warps[wi], di.guard);
         self.stats.warp_instrs += 1;
         self.stats.thread_instrs += mask.count_ones() as u64;
+        self.stats.issue.bump(di.class);
 
-        let mut lat: u64 = 2; // default ALU dependence latency
-        match &ins.op {
+        let lat: u64 = di.lat as u64;
+        match di.uop {
             // ---- control flow ------------------------------------------------
-            Op::Ssy { target } => {
-                let t = target_pc(target)?;
+            UOp::Ssy { reconv } => {
                 let w = &mut self.warps[wi];
                 w.stack.push(crate::warp::StackEntry::Ssy {
-                    reconv: t,
+                    reconv,
                     mask: w.active,
                 });
                 w.pc += 1;
-                finish(&mut self.warps[wi], self.cycle, 1);
+                finish(w, self.cycle, 1);
                 return Ok(());
             }
-            Op::Bra { target, .. } => {
-                let t = target_pc(target)?;
-                if (t as usize) > self.module.code.len() {
-                    return Err(FaultKind::InvalidPc { pc: t as u64 });
-                }
+            UOp::Bra { target } => {
                 let w = &mut self.warps[wi];
-                if ins.is_guarded() {
+                if di.is_guarded() {
                     self.stats.cond_branches += 1;
                 }
-                if w.branch(t, mask) {
+                if w.branch(target, mask) {
                     self.stats.divergent_branches += 1;
                 }
                 finish(&mut self.warps[wi], self.cycle, 2);
                 return Ok(());
             }
-            Op::Sync => {
+            UOp::Sync => {
                 let w = &mut self.warps[wi];
-                if ins.is_guarded() {
+                if di.is_guarded() {
                     // A predicated SYNC is a conditional control
                     // transfer: lanes that pass the guard park, the
                     // rest fall through.
@@ -452,9 +496,9 @@ impl Exec<'_> {
                 finish(&mut self.warps[wi], self.cycle, 2);
                 return Ok(());
             }
-            Op::Exit => {
+            UOp::Exit => {
                 let w = &mut self.warps[wi];
-                if ins.is_guarded() {
+                if di.is_guarded() {
                     self.stats.cond_branches += 1;
                     if mask != 0 && mask != w.active {
                         self.stats.divergent_branches += 1;
@@ -464,45 +508,39 @@ impl Exec<'_> {
                 finish(&mut self.warps[wi], self.cycle, 1);
                 return Ok(());
             }
-            Op::Jcal { target } => {
-                match target {
-                    Label::Pc(t) => {
-                        let w = &mut self.warps[wi];
-                        w.call_stack.push(w.pc + 1);
-                        w.pc = *t;
-                        lat = 4;
-                    }
-                    Label::Handler(id) => {
-                        let id = *id;
-                        self.stats.handler_calls += 1;
-                        let cost = {
-                            let warp = &mut self.warps[wi];
-                            let cta = &mut self.ctas[warp.cta];
-                            let mut ctx = TrapCtx {
-                                warp,
-                                shared: &mut cta.shared,
-                                mem: self.mem,
-                                ctaid: cta.ctaid,
-                                block_dim: self.dims.block,
-                                grid_dim: self.dims.grid,
-                                sm_id: sm as u32,
-                                cycle: self.cycle,
-                                kernel: &self.kernel.name,
-                                launch_index: self.launch_index,
-                            };
-                            self.runtime.handle(id, &mut ctx)
-                        };
-                        let cycles = cost.cycles();
-                        self.stats.handler_cycles += cycles;
-                        self.warps[wi].pc += 1;
-                        lat = 4 + cycles;
-                    }
-                    Label::Func(_) => return Err(FaultKind::InvalidPc { pc: pc as u64 }),
-                }
-                finish(&mut self.warps[wi], self.cycle, lat);
+            UOp::Call { target } => {
+                let w = &mut self.warps[wi];
+                w.call_stack.push(w.pc + 1);
+                w.pc = target;
+                finish(w, self.cycle, 4);
                 return Ok(());
             }
-            Op::Ret => {
+            UOp::Trap { handler } => {
+                self.stats.handler_calls += 1;
+                let cost = {
+                    let warp = &mut self.warps[wi];
+                    let cta = &mut self.ctas[warp.cta];
+                    let mut ctx = TrapCtx {
+                        warp,
+                        shared: &mut cta.shared,
+                        mem: self.mem,
+                        ctaid: cta.ctaid,
+                        block_dim: self.dims.block,
+                        grid_dim: self.dims.grid,
+                        sm_id: sm as u32,
+                        cycle: self.cycle,
+                        kernel: &self.kernel.name,
+                        launch_index: self.launch_index,
+                    };
+                    self.runtime.handle(handler, &mut ctx)
+                };
+                let cycles = cost.cycles();
+                self.stats.handler_cycles += cycles;
+                self.warps[wi].pc += 1;
+                finish(&mut self.warps[wi], self.cycle, 4 + cycles);
+                return Ok(());
+            }
+            UOp::Ret => {
                 let w = &mut self.warps[wi];
                 match w.call_stack.pop() {
                     Some(r) => w.pc = r,
@@ -511,7 +549,7 @@ impl Exec<'_> {
                 finish(&mut self.warps[wi], self.cycle, 4);
                 return Ok(());
             }
-            Op::BarSync => {
+            UOp::BarSync => {
                 let cta_idx = self.warps[wi].cta;
                 {
                     let w = &mut self.warps[wi];
@@ -523,24 +561,20 @@ impl Exec<'_> {
                 self.maybe_release_barrier(cta_idx);
                 return Ok(());
             }
+            UOp::Invalid(defect) => return Err(defect.fault(pc)),
 
             // ---- memory -----------------------------------------------------
-            Op::Ld { d, width, addr, .. } => {
-                self.mem_load(wi, sm, mask, *d, *width, addr, false)?;
+            UOp::Ld { d, width, addr } => {
+                self.mem_load(wi, sm, mask, d, width, &addr, false)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
-            Op::Tld { d, width, addr } => {
-                self.mem_load(wi, sm, mask, *d, *width, addr, true)?;
+            UOp::St { v, width, addr } => {
+                self.mem_store(wi, sm, mask, v, width, &addr)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
-            Op::St { v, width, addr, .. } => {
-                self.mem_store(wi, sm, mask, *v, *width, addr)?;
-                self.warps[wi].pc += 1;
-                return Ok(());
-            }
-            Op::Atom {
+            UOp::Atom {
                 d,
                 op,
                 addr,
@@ -548,19 +582,14 @@ impl Exec<'_> {
                 v2,
                 wide,
             } => {
-                self.mem_atomic(wi, sm, mask, Some(*d), *op, addr, *v, *v2, *wide)?;
+                self.mem_atomic(wi, sm, mask, d, op, &addr, v, v2, wide)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
-            Op::Red { op, addr, v, wide } => {
-                self.mem_atomic(wi, sm, mask, None, *op, addr, *v, None, *wide)?;
-                self.warps[wi].pc += 1;
-                return Ok(());
-            }
-            Op::MemBar => lat = 8,
+            UOp::MemBar => {} // lat precomputed in the header
 
             // ---- warp-wide ---------------------------------------------------
-            Op::Vote {
+            UOp::Vote {
                 mode,
                 d,
                 p_out,
@@ -569,49 +598,44 @@ impl Exec<'_> {
             } => {
                 let w = &mut self.warps[wi];
                 let mut ballot: u32 = 0;
-                for lane in 0..32 {
-                    if mask & (1 << lane) != 0 {
-                        let v = w.pred(lane, *src) != *neg_src;
-                        if v {
-                            ballot |= 1 << lane;
-                        }
+                for_lanes(mask, |lane| {
+                    if w.pred(lane, src) != neg_src {
+                        ballot |= 1 << lane;
                     }
-                }
+                });
                 let all = ballot & mask == mask && mask != 0;
                 let any = ballot != 0;
-                for lane in 0..32 {
-                    if mask & (1 << lane) != 0 {
-                        match mode {
-                            VoteMode::Ballot => w.set_reg(lane, *d, ballot),
-                            VoteMode::All => w.set_reg(lane, *d, all as u32),
-                            VoteMode::Any => w.set_reg(lane, *d, any as u32),
-                        }
-                        if let Some(p) = p_out {
-                            let v = match mode {
-                                VoteMode::All => all,
-                                VoteMode::Any => any,
-                                VoteMode::Ballot => ballot != 0,
-                            };
-                            w.set_pred(lane, *p, v);
-                        }
+                for_lanes(mask, |lane| {
+                    match mode {
+                        VoteMode::Ballot => w.set_reg(lane, d, ballot),
+                        VoteMode::All => w.set_reg(lane, d, all as u32),
+                        VoteMode::Any => w.set_reg(lane, d, any as u32),
                     }
-                }
+                    if let Some(p) = p_out {
+                        let v = match mode {
+                            VoteMode::All => all,
+                            VoteMode::Any => any,
+                            VoteMode::Ballot => ballot != 0,
+                        };
+                        w.set_pred(lane, p, v);
+                    }
+                });
             }
-            Op::Shfl {
+            UOp::Shfl {
                 mode,
                 d,
                 a,
                 b,
-                c: _,
                 p_out,
             } => {
+                let b = self.rsrc(b);
                 let w = &mut self.warps[wi];
-                let snapshot: Vec<u32> = (0..32).map(|l| w.reg(l, *a)).collect();
-                for lane in 0..32usize {
-                    if mask & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let bv = self.src_val(&self.warps[wi], lane, b);
+                let mut snapshot = [0u32; 32];
+                for (l, s) in snapshot.iter_mut().enumerate() {
+                    *s = w.reg(l, a);
+                }
+                for_lanes(mask, |lane| {
+                    let bv = rval(w, lane, b);
                     let src_lane = match mode {
                         ShflMode::Idx => (bv & 31) as usize,
                         ShflMode::Up => lane.wrapping_sub(bv as usize),
@@ -624,19 +648,15 @@ impl Exec<'_> {
                     } else {
                         snapshot[lane]
                     };
-                    let w = &mut self.warps[wi];
-                    w.set_reg(lane, *d, val);
+                    w.set_reg(lane, d, val);
                     if let Some(p) = p_out {
-                        w.set_pred(lane, *p, in_range);
+                        w.set_pred(lane, p, in_range);
                     }
-                }
+                });
             }
 
             // ---- per-lane ALU -------------------------------------------------
-            _ => {
-                self.alu(wi, &ins, mask);
-                lat = alu_latency(&ins.op);
-            }
+            _ => self.alu_decoded(wi, &di.uop, mask),
         }
         let w = &mut self.warps[wi];
         w.pc += 1;
@@ -644,102 +664,135 @@ impl Exec<'_> {
         Ok(())
     }
 
-    /// Per-lane ALU execution for all remaining opcodes.
-    fn alu(&mut self, wi: usize, ins: &Instr, mask: LaneMask) {
-        for lane in 0..32usize {
-            if mask & (1 << lane) == 0 {
-                continue;
+    /// Per-lane execution of the ALU-class µops: the operation is
+    /// matched and its operands resolved once per warp; only the lane
+    /// loop runs per thread.
+    fn alu_decoded(&mut self, wi: usize, uop: &UOp, mask: LaneMask) {
+        match *uop {
+            UOp::Mov { d, a } => {
+                let a = self.rsrc(a);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = rval(w, lane, a);
+                    w.set_reg(lane, d, v);
+                });
             }
-            // Read phase (immutable).
-            let w = &self.warps[wi];
-            enum Out {
-                R(Gpr, u32),
-                P(sassi_isa::PredReg, bool),
-                RCc(Gpr, u32, bool),
-                Preds(u8),
-                None,
+            UOp::S2R { d, sr } => {
+                let ctx = self.special_ctx(&self.warps[wi]);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = special_value(&ctx, lane, sr);
+                    w.set_reg(lane, d, v);
+                });
             }
-            let out = match &ins.op {
-                Op::Mov { d, a } => Out::R(*d, self.src_val(w, lane, a)),
-                Op::Mov32I { d, imm } => Out::R(*d, *imm),
-                Op::S2R { d, sr } => Out::R(*d, self.special(w, lane, *sr)),
-                Op::IAdd { d, a, b, x, cc } => {
-                    let av = w.reg(lane, *a) as u64;
-                    let bv = self.src_val(w, lane, b) as u64;
-                    let cin = if *x { w.cc[lane] as u64 } else { 0 };
+            UOp::IAdd { d, a, b, x, cc } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = w.reg(lane, a) as u64;
+                    let bv = rval(w, lane, b) as u64;
+                    let cin = if x { w.cc[lane] as u64 } else { 0 };
                     let sum = av + bv + cin;
-                    if *cc {
-                        Out::RCc(*d, sum as u32, sum >> 32 != 0)
-                    } else {
-                        Out::R(*d, sum as u32)
+                    w.set_reg(lane, d, sum as u32);
+                    if cc {
+                        w.cc[lane] = sum >> 32 != 0;
                     }
-                }
-                Op::ISub { d, a, b } => {
-                    Out::R(*d, w.reg(lane, *a).wrapping_sub(self.src_val(w, lane, b)))
-                }
-                Op::IMul {
-                    d,
-                    a,
-                    b,
-                    signed,
-                    hi,
-                } => {
-                    let av = w.reg(lane, *a);
-                    let bv = self.src_val(w, lane, b);
-                    let v = if *signed {
+                });
+            }
+            UOp::ISub { d, a, b } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = w.reg(lane, a).wrapping_sub(rval(w, lane, b));
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::IMul {
+                d,
+                a,
+                b,
+                signed,
+                hi,
+            } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = w.reg(lane, a);
+                    let bv = rval(w, lane, b);
+                    let v = if signed {
                         let p = (av as i32 as i64) * (bv as i32 as i64);
-                        if *hi {
+                        if hi {
                             (p >> 32) as u32
                         } else {
                             p as u32
                         }
                     } else {
                         let p = (av as u64) * (bv as u64);
-                        if *hi {
+                        if hi {
                             (p >> 32) as u32
                         } else {
                             p as u32
                         }
                     };
-                    Out::R(*d, v)
-                }
-                Op::IMad { d, a, b, c } => {
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::IMad { d, a, b, c } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
                     let v = w
-                        .reg(lane, *a)
-                        .wrapping_mul(self.src_val(w, lane, b))
-                        .wrapping_add(w.reg(lane, *c));
-                    Out::R(*d, v)
-                }
-                Op::IScAdd { d, a, b, shift } => {
-                    let v = (w.reg(lane, *a) << shift).wrapping_add(self.src_val(w, lane, b));
-                    Out::R(*d, v)
-                }
-                Op::IMnMx {
-                    d,
-                    a,
-                    b,
-                    min,
-                    signed,
-                } => {
-                    let av = w.reg(lane, *a);
-                    let bv = self.src_val(w, lane, b);
+                        .reg(lane, a)
+                        .wrapping_mul(rval(w, lane, b))
+                        .wrapping_add(w.reg(lane, c));
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::IScAdd { d, a, b, shift } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = (w.reg(lane, a) << shift).wrapping_add(rval(w, lane, b));
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::IMnMx {
+                d,
+                a,
+                b,
+                min,
+                signed,
+            } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = w.reg(lane, a);
+                    let bv = rval(w, lane, b);
                     let v = match (signed, min) {
                         (true, true) => (av as i32).min(bv as i32) as u32,
                         (true, false) => (av as i32).max(bv as i32) as u32,
                         (false, true) => av.min(bv),
                         (false, false) => av.max(bv),
                     };
-                    Out::R(*d, v)
-                }
-                Op::Shl { d, a, b } => {
-                    let s = self.src_val(w, lane, b);
-                    let v = if s >= 32 { 0 } else { w.reg(lane, *a) << s };
-                    Out::R(*d, v)
-                }
-                Op::Shr { d, a, b, signed } => {
-                    let s = self.src_val(w, lane, b);
-                    let av = w.reg(lane, *a);
-                    let v = if *signed {
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::Shl { d, a, b } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let s = rval(w, lane, b);
+                    let v = if s >= 32 { 0 } else { w.reg(lane, a) << s };
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::Shr { d, a, b, signed } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let s = rval(w, lane, b);
+                    let av = w.reg(lane, a);
+                    let v = if signed {
                         if s >= 32 {
                             ((av as i32) >> 31) as u32
                         } else {
@@ -750,181 +803,235 @@ impl Exec<'_> {
                     } else {
                         av >> s
                     };
-                    Out::R(*d, v)
-                }
-                Op::Lop { d, op, a, b, inv_b } => {
-                    let av = w.reg(lane, *a);
-                    let mut bv = self.src_val(w, lane, b);
-                    if *inv_b {
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::Lop { d, op, a, b, inv_b } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = w.reg(lane, a);
+                    let mut bv = rval(w, lane, b);
+                    if inv_b {
                         bv = !bv;
                     }
-                    Out::R(*d, op.eval(av, bv))
-                }
-                Op::Popc { d, a } => Out::R(*d, w.reg(lane, *a).count_ones()),
-                Op::Flo { d, a } => {
-                    let av = w.reg(lane, *a);
-                    Out::R(
-                        *d,
-                        if av == 0 {
-                            u32::MAX
-                        } else {
-                            31 - av.leading_zeros()
-                        },
-                    )
-                }
-                Op::Brev { d, a } => Out::R(*d, w.reg(lane, *a).reverse_bits()),
-                Op::Sel { d, a, b, p, neg_p } => {
-                    let take_a = w.pred(lane, *p) != *neg_p;
-                    let v = if take_a {
-                        w.reg(lane, *a)
+                    w.set_reg(lane, d, op.eval(av, bv));
+                });
+            }
+            UOp::Popc { d, a } => {
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = w.reg(lane, a).count_ones();
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::Flo { d, a } => {
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = w.reg(lane, a);
+                    let v = if av == 0 {
+                        u32::MAX
                     } else {
-                        self.src_val(w, lane, b)
+                        31 - av.leading_zeros()
                     };
-                    Out::R(*d, v)
-                }
-                Op::FAdd {
-                    d,
-                    a,
-                    b,
-                    neg_a,
-                    neg_b,
-                } => {
-                    let mut av = f32::from_bits(w.reg(lane, *a));
-                    let mut bv = f32::from_bits(self.src_val(w, lane, b));
-                    if *neg_a {
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::Brev { d, a } => {
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = w.reg(lane, a).reverse_bits();
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::Sel { d, a, b, p, neg_p } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = if w.pred(lane, p) != neg_p {
+                        w.reg(lane, a)
+                    } else {
+                        rval(w, lane, b)
+                    };
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::FAdd {
+                d,
+                a,
+                b,
+                neg_a,
+                neg_b,
+            } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let mut av = f32::from_bits(w.reg(lane, a));
+                    let mut bv = f32::from_bits(rval(w, lane, b));
+                    if neg_a {
                         av = -av;
                     }
-                    if *neg_b {
+                    if neg_b {
                         bv = -bv;
                     }
-                    Out::R(*d, (av + bv).to_bits())
-                }
-                Op::FMul { d, a, b } => {
-                    let av = f32::from_bits(w.reg(lane, *a));
-                    let bv = f32::from_bits(self.src_val(w, lane, b));
-                    Out::R(*d, (av * bv).to_bits())
-                }
-                Op::FFma {
-                    d,
-                    a,
-                    b,
-                    c,
-                    neg_b,
-                    neg_c,
-                } => {
-                    let av = f32::from_bits(w.reg(lane, *a));
-                    let mut bv = f32::from_bits(self.src_val(w, lane, b));
-                    let mut cv = f32::from_bits(w.reg(lane, *c));
-                    if *neg_b {
+                    w.set_reg(lane, d, (av + bv).to_bits());
+                });
+            }
+            UOp::FMul { d, a, b } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = f32::from_bits(w.reg(lane, a));
+                    let bv = f32::from_bits(rval(w, lane, b));
+                    w.set_reg(lane, d, (av * bv).to_bits());
+                });
+            }
+            UOp::FFma {
+                d,
+                a,
+                b,
+                c,
+                neg_b,
+                neg_c,
+            } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = f32::from_bits(w.reg(lane, a));
+                    let mut bv = f32::from_bits(rval(w, lane, b));
+                    let mut cv = f32::from_bits(w.reg(lane, c));
+                    if neg_b {
                         bv = -bv;
                     }
-                    if *neg_c {
+                    if neg_c {
                         cv = -cv;
                     }
-                    Out::R(*d, av.mul_add(bv, cv).to_bits())
-                }
-                Op::FMnMx { d, a, b, min } => {
-                    let av = f32::from_bits(w.reg(lane, *a));
-                    let bv = f32::from_bits(self.src_val(w, lane, b));
-                    let v = if *min { av.min(bv) } else { av.max(bv) };
-                    Out::R(*d, v.to_bits())
-                }
-                Op::Mufu { d, func, a } => {
-                    let av = f32::from_bits(w.reg(lane, *a));
-                    Out::R(*d, func.eval(av).to_bits())
-                }
-                Op::I2F { d, a, .. } => Out::R(*d, (w.reg(lane, *a) as i32 as f32).to_bits()),
-                Op::F2I { d, a, .. } => Out::R(*d, f32::from_bits(w.reg(lane, *a)) as i32 as u32),
-                Op::ISetP {
-                    p,
-                    cmp,
-                    a,
-                    b,
-                    signed,
-                    combine,
-                } => {
-                    let av = w.reg(lane, *a);
-                    let bv = self.src_val(w, lane, b);
-                    let base = if *signed {
+                    w.set_reg(lane, d, av.mul_add(bv, cv).to_bits());
+                });
+            }
+            UOp::FMnMx { d, a, b, min } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = f32::from_bits(w.reg(lane, a));
+                    let bv = f32::from_bits(rval(w, lane, b));
+                    let v = if min { av.min(bv) } else { av.max(bv) };
+                    w.set_reg(lane, d, v.to_bits());
+                });
+            }
+            UOp::Mufu { d, func, a } => {
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = f32::from_bits(w.reg(lane, a));
+                    w.set_reg(lane, d, func.eval(av).to_bits());
+                });
+            }
+            UOp::I2F { d, a } => {
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = (w.reg(lane, a) as i32 as f32).to_bits();
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::F2I { d, a } => {
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = f32::from_bits(w.reg(lane, a)) as i32 as u32;
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::ISetP {
+                p,
+                cmp,
+                a,
+                b,
+                signed,
+                combine,
+            } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = w.reg(lane, a);
+                    let bv = rval(w, lane, b);
+                    let base = if signed {
                         cmp.eval_i64(av as i32 as i64, bv as i32 as i64)
                     } else {
                         cmp.eval_i64(av as i64, bv as i64)
                     };
                     let v = match combine {
                         None => base,
-                        Some((cp, neg)) => base && (w.pred(lane, *cp) != *neg),
+                        Some((cp, neg)) => base && (w.pred(lane, cp) != neg),
                     };
-                    Out::P(*p, v)
-                }
-                Op::FSetP { p, cmp, a, b } => {
-                    let av = f32::from_bits(w.reg(lane, *a));
-                    let bv = f32::from_bits(self.src_val(w, lane, b));
-                    Out::P(*p, cmp.eval_f32(av, bv))
-                }
-                Op::PSetP {
-                    p,
-                    op,
-                    a,
-                    b,
-                    neg_a,
-                    neg_b,
-                } => {
-                    let av = w.pred(lane, *a) != *neg_a;
-                    let bv = w.pred(lane, *b) != *neg_b;
+                    w.set_pred(lane, p, v);
+                });
+            }
+            UOp::FSetP { p, cmp, a, b } => {
+                let b = self.rsrc(b);
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = f32::from_bits(w.reg(lane, a));
+                    let bv = f32::from_bits(rval(w, lane, b));
+                    w.set_pred(lane, p, cmp.eval_f32(av, bv));
+                });
+            }
+            UOp::PSetP {
+                p,
+                op,
+                a,
+                b,
+                neg_a,
+                neg_b,
+            } => {
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let av = w.pred(lane, a) != neg_a;
+                    let bv = w.pred(lane, b) != neg_b;
                     let v = match op {
                         LogicOp::And => av && bv,
                         LogicOp::Or => av || bv,
                         LogicOp::Xor => av != bv,
                         LogicOp::PassB => bv,
                     };
-                    Out::P(*p, v)
-                }
-                Op::P2R { d } => Out::R(*d, w.preds[lane] as u32 & 0x7f),
-                Op::R2P { a } => Out::Preds((w.reg(lane, *a) & 0x7f) as u8),
-                Op::Nop => Out::None,
-                // Handled in `step`.
-                _ => Out::None,
-            };
-            // Write phase.
-            let w = &mut self.warps[wi];
-            match out {
-                Out::R(d, v) => w.set_reg(lane, d, v),
-                Out::P(p, v) => w.set_pred(lane, p, v),
-                Out::RCc(d, v, c) => {
-                    w.set_reg(lane, d, v);
-                    w.cc[lane] = c;
-                }
-                Out::Preds(bits) => w.preds[lane] = bits,
-                Out::None => {}
+                    w.set_pred(lane, p, v);
+                });
             }
+            UOp::P2R { d } => {
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    let v = w.preds[lane] as u32 & 0x7f;
+                    w.set_reg(lane, d, v);
+                });
+            }
+            UOp::R2P { a } => {
+                let w = &mut self.warps[wi];
+                for_lanes(mask, |lane| {
+                    w.preds[lane] = (w.reg(lane, a) & 0x7f) as u8;
+                });
+            }
+            UOp::Nop => {}
+            // Control / memory / warp-wide µops are handled in
+            // `step_decoded`.
+            _ => {}
+        }
+    }
+
+    /// Snapshots the warp-invariant inputs of special-register reads,
+    /// so `S2R` hoists them out of the lane loop.
+    fn special_ctx(&self, w: &Warp) -> SpecialCtx {
+        let cta = &self.ctas[w.cta];
+        SpecialCtx {
+            warp_in_cta: w.warp_in_cta,
+            active: w.active,
+            ctaid: cta.ctaid,
+            sm: cta.sm as u32,
+            block: self.dims.block,
+            grid: self.dims.grid,
+            cycle: self.cycle,
         }
     }
 
     fn special(&self, w: &Warp, lane: usize, sr: SpecialReg) -> u32 {
-        let cta = &self.ctas[w.cta];
-        let linear = w.warp_in_cta * 32 + lane as u32;
-        let (bx, by, _) = self.dims.block;
-        match sr {
-            SpecialReg::TidX => linear % bx,
-            SpecialReg::TidY => (linear / bx) % by,
-            SpecialReg::TidZ => linear / (bx * by),
-            SpecialReg::CtaIdX => cta.ctaid.0,
-            SpecialReg::CtaIdY => cta.ctaid.1,
-            SpecialReg::CtaIdZ => cta.ctaid.2,
-            SpecialReg::NTidX => self.dims.block.0,
-            SpecialReg::NTidY => self.dims.block.1,
-            SpecialReg::NTidZ => self.dims.block.2,
-            SpecialReg::NCtaIdX => self.dims.grid.0,
-            SpecialReg::NCtaIdY => self.dims.grid.1,
-            SpecialReg::NCtaIdZ => self.dims.grid.2,
-            SpecialReg::LaneId => lane as u32,
-            SpecialReg::WarpId => w.warp_in_cta,
-            SpecialReg::SmId => cta.sm as u32,
-            SpecialReg::ClockLo => self.cycle as u32,
-            SpecialReg::ClockHi => (self.cycle >> 32) as u32,
-            SpecialReg::LaneMaskLt => (1u32 << lane) - 1,
-            SpecialReg::ActiveMask => w.active,
-        }
+        special_value(&self.special_ctx(w), lane, sr)
     }
 
     // ---- memory helpers ----------------------------------------------------
@@ -980,7 +1087,11 @@ impl Exec<'_> {
         _texture: bool,
     ) -> Result<(), FaultKind> {
         let bytes = width.bytes();
-        let mut global_addrs: Vec<u64> = Vec::new();
+        // Lane addresses are collected in lane order into a fixed
+        // array: the coalescer is order-sensitive and the hot loop
+        // must not allocate.
+        let mut global_addrs = [0u64; 32];
+        let mut n_global = 0usize;
         let mut has_local = false;
         let mut has_shared = false;
         for lane in 0..32usize {
@@ -1013,7 +1124,8 @@ impl Exec<'_> {
                     buf
                 }
                 AddrSpace::Global | AddrSpace::Generic => {
-                    global_addrs.push(a);
+                    global_addrs[n_global] = a;
+                    n_global += 1;
                     let got = self.mem.read_bytes(a, bytes).map_err(mem_fault)?;
                     let mut buf = [0u8; 16];
                     buf[..bytes as usize].copy_from_slice(got);
@@ -1023,7 +1135,14 @@ impl Exec<'_> {
             let w = &mut self.warps[wi];
             write_load_result(w, lane, d, width, &data);
         }
-        let lat = self.mem_latency(sm, &global_addrs, bytes, false, has_local, has_shared);
+        let lat = self.mem_latency(
+            sm,
+            &global_addrs[..n_global],
+            bytes,
+            false,
+            has_local,
+            has_shared,
+        );
         finish(&mut self.warps[wi], self.cycle, lat);
         Ok(())
     }
@@ -1038,7 +1157,8 @@ impl Exec<'_> {
         addr: &MemAddr,
     ) -> Result<(), FaultKind> {
         let bytes = width.bytes();
-        let mut global_addrs: Vec<u64> = Vec::new();
+        let mut global_addrs = [0u64; 32];
+        let mut n_global = 0usize;
         let mut has_local = false;
         let mut has_shared = false;
         for lane in 0..32usize {
@@ -1080,14 +1200,22 @@ impl Exec<'_> {
                     cta.shared[off..off + bytes as usize].copy_from_slice(&buf[..bytes as usize]);
                 }
                 AddrSpace::Global | AddrSpace::Generic => {
-                    global_addrs.push(a);
+                    global_addrs[n_global] = a;
+                    n_global += 1;
                     self.mem
                         .write_bytes(a, &buf[..bytes as usize])
                         .map_err(mem_fault)?;
                 }
             }
         }
-        let lat = self.mem_latency(sm, &global_addrs, bytes, true, has_local, has_shared);
+        let lat = self.mem_latency(
+            sm,
+            &global_addrs[..n_global],
+            bytes,
+            true,
+            has_local,
+            has_shared,
+        );
         finish(&mut self.warps[wi], self.cycle, lat);
         Ok(())
     }
@@ -1105,7 +1233,8 @@ impl Exec<'_> {
         v2: Option<Gpr>,
         wide: bool,
     ) -> Result<(), FaultKind> {
-        let mut global_addrs: Vec<u64> = Vec::new();
+        let mut global_addrs = [0u64; 32];
+        let mut n_global = 0usize;
         for lane in 0..32usize {
             if mask & (1 << lane) == 0 {
                 continue;
@@ -1132,7 +1261,8 @@ impl Exec<'_> {
             };
             let old = match space {
                 AddrSpace::Global | AddrSpace::Generic => {
-                    global_addrs.push(a);
+                    global_addrs[n_global] = a;
+                    n_global += 1;
                     let old = if wide {
                         self.mem.read_u64(a).map_err(mem_fault)?
                     } else {
@@ -1180,11 +1310,11 @@ impl Exec<'_> {
         let width = if wide { 8 } else { 4 };
         let mut lat = self.mem_latency(
             sm,
-            &global_addrs,
+            &global_addrs[..n_global],
             width,
             true,
             false,
-            global_addrs.is_empty(),
+            n_global == 0,
         );
         lat += 16; // read-modify-write turnaround
         finish(&mut self.warps[wi], self.cycle, lat);
@@ -1227,10 +1357,75 @@ fn finish(w: &mut Warp, cycle: u64, lat: u64) {
     w.ready_at = cycle + lat.max(1);
 }
 
-fn target_pc(l: &Label) -> Result<u32, FaultKind> {
-    match l {
-        Label::Pc(t) => Ok(*t),
-        _ => Err(FaultKind::InvalidPc { pc: u64::MAX }),
+/// A source operand resolved for one warp-step: immediates and
+/// constant reads are already values, only registers stay per-lane.
+#[derive(Clone, Copy)]
+enum RSrc {
+    Val(u32),
+    Reg(Gpr),
+}
+
+#[inline(always)]
+fn rval(w: &Warp, lane: usize, s: RSrc) -> u32 {
+    match s {
+        RSrc::Val(v) => v,
+        RSrc::Reg(r) => w.reg(lane, r),
+    }
+}
+
+/// Applies `f` to every lane in `mask`, ascending. The full-warp case
+/// takes a straight-line loop (no per-lane mask tests) — the
+/// uniform-warp fast path.
+#[inline(always)]
+fn for_lanes(mask: LaneMask, mut f: impl FnMut(usize)) {
+    if mask == u32::MAX {
+        for lane in 0..32 {
+            f(lane);
+        }
+    } else {
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            f(lane);
+        }
+    }
+}
+
+/// Warp-invariant inputs of a special-register read.
+struct SpecialCtx {
+    warp_in_cta: u32,
+    active: u32,
+    ctaid: (u32, u32, u32),
+    sm: u32,
+    block: (u32, u32, u32),
+    grid: (u32, u32, u32),
+    cycle: u64,
+}
+
+fn special_value(ctx: &SpecialCtx, lane: usize, sr: SpecialReg) -> u32 {
+    let linear = ctx.warp_in_cta * 32 + lane as u32;
+    let (bx, by, _) = ctx.block;
+    match sr {
+        SpecialReg::TidX => linear % bx,
+        SpecialReg::TidY => (linear / bx) % by,
+        SpecialReg::TidZ => linear / (bx * by),
+        SpecialReg::CtaIdX => ctx.ctaid.0,
+        SpecialReg::CtaIdY => ctx.ctaid.1,
+        SpecialReg::CtaIdZ => ctx.ctaid.2,
+        SpecialReg::NTidX => ctx.block.0,
+        SpecialReg::NTidY => ctx.block.1,
+        SpecialReg::NTidZ => ctx.block.2,
+        SpecialReg::NCtaIdX => ctx.grid.0,
+        SpecialReg::NCtaIdY => ctx.grid.1,
+        SpecialReg::NCtaIdZ => ctx.grid.2,
+        SpecialReg::LaneId => lane as u32,
+        SpecialReg::WarpId => ctx.warp_in_cta,
+        SpecialReg::SmId => ctx.sm,
+        SpecialReg::ClockLo => ctx.cycle as u32,
+        SpecialReg::ClockHi => (ctx.cycle >> 32) as u32,
+        SpecialReg::LaneMaskLt => (1u32 << lane) - 1,
+        SpecialReg::ActiveMask => ctx.active,
     }
 }
 
@@ -1282,19 +1477,4 @@ fn apply_atom(op: AtomOp, old: u64, v: u64, v2: u64, wide: bool) -> u64 {
         }
     };
     r & m
-}
-
-fn alu_latency(op: &Op) -> u64 {
-    match op {
-        Op::Mufu { .. } => 8,
-        Op::IMul { .. } | Op::IMad { .. } => 4,
-        Op::I2F { .. } | Op::F2I { .. } => 4,
-        _ => 2,
-    }
-}
-
-/// Evaluates a comparison used by tests.
-#[doc(hidden)]
-pub fn _cmp_eval(cmp: CmpOp, a: i64, b: i64) -> bool {
-    cmp.eval_i64(a, b)
 }

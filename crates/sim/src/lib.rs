@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod decode;
 mod device;
 mod module;
 mod stats;
@@ -51,8 +52,11 @@ mod trap;
 mod warp;
 
 pub use config::{GpuConfig, LaunchDims};
-pub use device::{Device, LaunchError};
+pub use decode::{DSrc, DecodedFault, DecodedInstr, DecodedModule, UOp, GUARD_ALWAYS};
+pub use device::{Device, ExecMode, LaunchError};
 pub use module::{LinkError, LinkedFunction, Module};
-pub use stats::{FaultInfo, FaultKind, KernelOutcome, LaunchResult, LaunchStats};
+pub use stats::{
+    FaultInfo, FaultKind, IssueClass, IssueCounters, KernelOutcome, LaunchResult, LaunchStats,
+};
 pub use trap::{HandlerCost, HandlerRuntime, NoHandlers, TrapCtx};
 pub use warp::{StackEntry, Warp, WarpStatus};

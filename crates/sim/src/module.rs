@@ -7,10 +7,12 @@
 //! merges reconvergence metadata. `Handler` call targets survive
 //! linking — they trap into native handlers at execution time.
 
-use sassi_isa::{Function, FunctionMeta, Instr, Label, Op};
-use serde::{Deserialize, Serialize};
+use crate::decode::DecodedModule;
+use sassi_isa::{Function, FunctionMeta, Instr, Label};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A linking failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,7 +48,7 @@ pub struct LinkedFunction {
 }
 
 /// A linked device module.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Module {
     /// Flat code space.
     pub code: Vec<Instr>,
@@ -54,6 +56,64 @@ pub struct Module {
     pub functions: Vec<LinkedFunction>,
     /// Reconvergence targets for every `SYNC`, keyed by flat pc.
     pub sync_reconv: BTreeMap<u32, u32>,
+    /// Lazily-built pre-decoded form (see [`DecodedModule`]); built
+    /// eagerly by [`Module::link`], rebuilt on demand after
+    /// clone/deserialize.
+    decoded: OnceLock<DecodedModule>,
+}
+
+// `code` is public and the decode cache must never go stale, so every
+// path that could yield a module with different code starts from an
+// empty cache: these impls are hand-written to (a) reset the cache on
+// clone and (b) keep equality/serialization defined over the three
+// public fields exactly as the derives on those fields would.
+impl Clone for Module {
+    fn clone(&self) -> Module {
+        Module {
+            code: self.code.clone(),
+            functions: self.functions.clone(),
+            sync_reconv: self.sync_reconv.clone(),
+            decoded: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Module {
+    fn eq(&self, other: &Module) -> bool {
+        self.code == other.code
+            && self.functions == other.functions
+            && self.sync_reconv == other.sync_reconv
+    }
+}
+
+impl Serialize for Module {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (String::from("code"), Serialize::to_value(&self.code)),
+            (
+                String::from("functions"),
+                Serialize::to_value(&self.functions),
+            ),
+            (
+                String::from("sync_reconv"),
+                Serialize::to_value(&self.sync_reconv),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Module {
+    fn from_value(v: &Value) -> Result<Module, DeError> {
+        match v {
+            Value::Map(m) => Ok(Module {
+                code: Deserialize::from_value(serde::map_field(m, "code")?)?,
+                functions: Deserialize::from_value(serde::map_field(m, "functions")?)?,
+                sync_reconv: Deserialize::from_value(serde::map_field(m, "sync_reconv")?)?,
+                decoded: OnceLock::new(),
+            }),
+            _ => Err(DeError::expected("map for Module", v)),
+        }
+    }
 }
 
 impl Module {
@@ -83,21 +143,18 @@ impl Module {
             let entry = entries[i];
             for ins in &f.instrs {
                 let mut ins = ins.clone();
-                match &mut ins.op {
-                    Op::Bra { target, .. } | Op::Ssy { target } | Op::Jcal { target } => {
-                        *target = match *target {
-                            Label::Pc(pc) => Label::Pc(pc + entry),
-                            Label::Func(fi) => {
-                                let fi = fi as usize;
-                                if fi >= funcs.len() {
-                                    return Err(LinkError::UnresolvedFunction(fi as u32));
-                                }
-                                Label::Pc(entries[fi])
+                if let Some(target) = ins.op.target_mut() {
+                    *target = match *target {
+                        Label::Pc(pc) => Label::Pc(pc + entry),
+                        Label::Func(fi) => {
+                            let fi = fi as usize;
+                            if fi >= funcs.len() {
+                                return Err(LinkError::UnresolvedFunction(fi as u32));
                             }
-                            Label::Handler(h) => Label::Handler(h),
-                        };
-                    }
-                    _ => {}
+                            Label::Pc(entries[fi])
+                        }
+                        Label::Handler(h) => Label::Handler(h),
+                    };
                 }
                 code.push(ins);
             }
@@ -111,11 +168,34 @@ impl Module {
                 meta: f.meta.clone(),
             });
         }
-        Ok(Module {
+        let module = Module::from_parts(code, functions, sync_reconv);
+        // Pre-decode eagerly: linking is the cold path, execution the
+        // hot one, and an eagerly-primed cache keeps first-launch
+        // timing indistinguishable from steady state.
+        module.decoded();
+        Ok(module)
+    }
+
+    /// Assembles a module directly from its parts (no relocation).
+    /// Intended for tests that need code the builder API rejects,
+    /// e.g. invalid control-transfer targets.
+    pub fn from_parts(
+        code: Vec<Instr>,
+        functions: Vec<LinkedFunction>,
+        sync_reconv: BTreeMap<u32, u32>,
+    ) -> Module {
+        Module {
             code,
             functions,
             sync_reconv,
-        })
+            decoded: OnceLock::new(),
+        }
+    }
+
+    /// The pre-decoded µop form of the module, built on first use and
+    /// cached.
+    pub fn decoded(&self) -> &DecodedModule {
+        self.decoded.get_or_init(|| DecodedModule::decode(self))
     }
 
     /// Finds a linked function by name.
@@ -132,7 +212,7 @@ impl Module {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sassi_isa::{FunctionMeta, Gpr, Instr, Src};
+    use sassi_isa::{FunctionMeta, Gpr, Instr, Op, Src};
 
     fn f(name: &str, n: usize) -> Function {
         let mut instrs = vec![];

@@ -1,5 +1,6 @@
 //! Launch outcomes and statistics.
 
+use sassi_isa::InstrClass;
 use sassi_mem::HierarchyStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -92,6 +93,69 @@ impl KernelOutcome {
     }
 }
 
+/// Coarse issue classification of an instruction, the profiling axes
+/// of the per-class counters in [`IssueCounters`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IssueClass {
+    /// Loads, stores, atomics, reductions, texture fetches.
+    Memory,
+    /// Branches, calls, returns, `SYNC`, `EXIT`.
+    Control,
+    /// Integer / floating-point arithmetic.
+    Numeric,
+    /// Everything else (moves, predicates, barriers, votes, …).
+    Misc,
+}
+
+impl IssueClass {
+    /// Maps the ISA's static classification onto the four profiling
+    /// buckets.
+    pub fn of(class: &InstrClass) -> IssueClass {
+        if class.is_mem() {
+            IssueClass::Memory
+        } else if class.is_control_xfer() {
+            IssueClass::Control
+        } else if class.is_numeric() {
+            IssueClass::Numeric
+        } else {
+            IssueClass::Misc
+        }
+    }
+}
+
+/// Warp-level instruction issue counts by [`IssueClass`] — the
+/// where-do-cycles-go profiling hook (always sums to
+/// [`LaunchStats::warp_instrs`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IssueCounters {
+    /// Memory-class instructions issued.
+    pub memory: u64,
+    /// Control-class instructions issued.
+    pub control: u64,
+    /// Numeric-class instructions issued.
+    pub numeric: u64,
+    /// Everything else.
+    pub misc: u64,
+}
+
+impl IssueCounters {
+    /// Counts one issued instruction of `class`.
+    #[inline(always)]
+    pub fn bump(&mut self, class: IssueClass) {
+        match class {
+            IssueClass::Memory => self.memory += 1,
+            IssueClass::Control => self.control += 1,
+            IssueClass::Numeric => self.numeric += 1,
+            IssueClass::Misc => self.misc += 1,
+        }
+    }
+
+    /// Total instructions counted.
+    pub fn total(&self) -> u64 {
+        self.memory + self.control + self.numeric + self.misc
+    }
+}
+
 /// Statistics of one kernel launch.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LaunchStats {
@@ -112,6 +176,8 @@ pub struct LaunchStats {
     pub handler_cycles: u64,
     /// Blocks executed.
     pub blocks: u64,
+    /// Warp-level issues broken down by instruction class.
+    pub issue: IssueCounters,
 }
 
 /// The result of a launch: outcome, counters and the memory hierarchy's
@@ -154,5 +220,61 @@ mod tests {
     fn fault_display() {
         let k = FaultKind::MemViolation { addr: 0x10 };
         assert!(k.to_string().contains("0x10"));
+    }
+
+    #[test]
+    fn issue_class_buckets() {
+        use sassi_isa::{Gpr, Instr, MemAddr, MemWidth, Op, Src};
+        let class = |op: Op| IssueClass::of(&Instr::new(op).class());
+        assert_eq!(
+            class(Op::Ld {
+                d: Gpr::new(0),
+                width: MemWidth::B32,
+                addr: MemAddr::global(Gpr::new(4), 0),
+                spill: false,
+            }),
+            IssueClass::Memory
+        );
+        assert_eq!(class(Op::Exit), IssueClass::Control);
+        assert_eq!(
+            class(Op::IAdd {
+                d: Gpr::new(0),
+                a: Gpr::new(1),
+                b: Src::Imm(1),
+                x: false,
+                cc: false,
+            }),
+            IssueClass::Numeric
+        );
+        assert_eq!(
+            class(Op::Mov {
+                d: Gpr::new(0),
+                a: Src::Imm(0),
+            }),
+            IssueClass::Misc
+        );
+        // SSY sets up reconvergence but transfers no control itself.
+        assert_eq!(
+            class(Op::Ssy {
+                target: sassi_isa::Label::Pc(0),
+            }),
+            IssueClass::Misc
+        );
+        assert_eq!(class(Op::BarSync), IssueClass::Misc);
+    }
+
+    #[test]
+    fn issue_counters_accumulate() {
+        let mut c = IssueCounters::default();
+        c.bump(IssueClass::Memory);
+        c.bump(IssueClass::Control);
+        c.bump(IssueClass::Control);
+        c.bump(IssueClass::Numeric);
+        c.bump(IssueClass::Misc);
+        assert_eq!(c.memory, 1);
+        assert_eq!(c.control, 2);
+        assert_eq!(c.numeric, 1);
+        assert_eq!(c.misc, 1);
+        assert_eq!(c.total(), 5);
     }
 }

@@ -6,6 +6,10 @@
 //! with a simple median-of-samples timer instead of criterion's full
 //! statistical machinery. Good enough to compare orders of magnitude
 //! and to keep `cargo bench` runnable offline.
+//!
+//! Like real criterion, `cargo bench -- --test` runs every benchmark
+//! body exactly once with no timing — the CI smoke mode that proves the
+//! benches still compile and execute.
 
 #![forbid(unsafe_code)]
 
@@ -17,11 +21,15 @@ pub use std::hint::black_box;
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -29,11 +37,17 @@ impl Default for Criterion {
 pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `f`, first warming up and sizing the iteration count.
+    /// In `--test` mode, runs `f` once and records nothing.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
         // Warm-up and calibration: target ~20ms per sample.
         let t0 = Instant::now();
         black_box(f());
@@ -50,6 +64,10 @@ impl Bencher {
     }
 
     fn report(&self, name: &str, throughput: Option<&Throughput>) {
+        if self.test_mode {
+            println!("{name:<40} smoke ok (1 iteration, untimed)");
+            return;
+        }
         if self.samples.is_empty() {
             return;
         }
@@ -100,6 +118,7 @@ impl Criterion {
         let mut b = Bencher {
             samples: Vec::with_capacity(self.sample_size),
             iters_per_sample: 1,
+            test_mode: self.test_mode,
         };
         f(&mut b);
         b.report(name, None);
@@ -144,6 +163,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: Vec::with_capacity(samples),
             iters_per_sample: 1,
+            test_mode: self.criterion.test_mode,
         };
         f(&mut b);
         b.report(&format!("{}/{name}", self.name), self.throughput.as_ref());
