@@ -11,7 +11,7 @@ use sassi_studies::report;
 const USAGE: &str = "usage: repro [--jobs N] [table1|fig5|fig7|fig8|table2|table3|fig10 [runs]|ablation-stub|ablation-spill|hotloop|all]
   --jobs N     worker threads per sweep (default: SASSI_JOBS or available parallelism)
   fig10 runs   injections per workload (positive integer, default 150)
-  hotloop      decoded-vs-reference interpreter comparison -> results/timings/sim_hot_loop.json";
+  hotloop      decoded (serial + CTA-parallel) vs reference comparison -> results/timings/sim_hot_loop.json";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("repro: {msg}");
@@ -259,6 +259,7 @@ fn hotloop(jobs: usize) {
     );
     for (label, run) in [
         ("decoded", &report.decoded),
+        ("parallel", &report.parallel),
         ("reference", &report.reference),
     ] {
         println!(
@@ -267,6 +268,10 @@ fn hotloop(jobs: usize) {
         );
     }
     println!("  speedup: {:.2}x (busy-time ratio)", report.speedup);
+    println!(
+        "  parallel speedup: {:.2}x (decoded serial wall / CTA-parallel wall, {} shard workers)",
+        report.parallel_speedup, report.jobs
+    );
     let i = &report.issue;
     let total = (i.memory + i.control + i.numeric + i.misc).max(1);
     println!(

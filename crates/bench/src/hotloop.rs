@@ -1,8 +1,9 @@
 //! The hot-loop comparison behind `repro hotloop`: the same workload
-//! set executed by the pre-decoded µop interpreter and by the reference
-//! (seed-semantics) interpreter, with per-instruction-class issue
-//! counters from the decoded run — the where-do-cycles-go artifact
-//! future perf PRs diff against (`results/timings/sim_hot_loop.json`).
+//! set executed by the pre-decoded µop interpreter (serially and with
+//! CTA-parallel launches) and by the reference (seed-semantics)
+//! interpreter, with per-instruction-class issue counters from the
+//! decoded run — the where-do-cycles-go artifact future perf PRs diff
+//! against (`results/timings/sim_hot_loop.json`).
 
 use crate::exec::{run_units, WorkloadCache};
 use sassi_rt::{ModuleBuilder, Runtime};
@@ -22,7 +23,7 @@ pub const HOTLOOP_SET: &[&str] = &[
     "streamcluster",
 ];
 
-/// One interpreter's side of the comparison.
+/// One interpreter configuration's side of the comparison.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct ModeRun {
     /// End-to-end wall-clock seconds for the sweep.
@@ -40,22 +41,34 @@ pub struct ModeRun {
 /// The full artifact written to `results/timings/sim_hot_loop.json`.
 #[derive(Clone, Debug, Serialize)]
 pub struct HotLoopReport {
-    /// Workload display names executed (once each, per mode).
+    /// Workload display names executed (once each, per configuration).
     pub workloads: Vec<String>,
-    /// Worker threads used for each sweep.
+    /// CTA-shard worker threads the parallel sweep ran with. Every
+    /// sweep executes the workloads one at a time (no outer workers),
+    /// so wall times compare like for like.
     pub jobs: usize,
-    /// The pre-decoded µop interpreter (`ExecMode::Decoded`).
+    /// The pre-decoded µop interpreter, serial launches
+    /// (`ExecMode::Decoded`).
     pub decoded: ModeRun,
-    /// The seed-semantics interpreter (`ExecMode::Reference`).
+    /// The pre-decoded µop interpreter with `jobs` CTA-shard workers
+    /// per launch — the SM-worker execution model.
+    pub parallel: ModeRun,
+    /// The seed-semantics interpreter, serial launches
+    /// (`ExecMode::Reference`).
     pub reference: ModeRun,
-    /// reference busy time / decoded busy time.
+    /// reference busy time / decoded busy time (interpreter speedup).
     pub speedup: f64,
-    /// Per-instruction-class issue counts (identical across modes;
-    /// taken from the decoded run).
+    /// decoded serial wall time / parallel wall time: how much faster
+    /// the same workloads finish when each launch's CTAs run across
+    /// `jobs` workers instead of one. ~1.0 on a single-core host;
+    /// approaches the populated shard count on a multicore host.
+    pub parallel_speedup: f64,
+    /// Per-instruction-class issue counts (identical across all three
+    /// sweeps; taken from the decoded serial run).
     pub issue: IssueCounters,
 }
 
-fn sweep(mode: ExecMode, jobs: usize) -> (ModeRun, IssueCounters) {
+fn sweep(mode: ExecMode, jobs: usize, cta_jobs: usize) -> (ModeRun, IssueCounters) {
     let (per_unit, timing) = run_units(
         jobs,
         HOTLOOP_SET,
@@ -69,6 +82,7 @@ fn sweep(mode: ExecMode, jobs: usize) -> (ModeRun, IssueCounters) {
             let module = mb.build(None).expect("build");
             let mut rt = Runtime::with_defaults();
             rt.device.exec_mode = mode;
+            rt.set_cta_jobs(cta_jobs);
             let out = w.execute(&mut rt, &module, &mut NoHandlers);
             assert!(out.is_ok(), "{name}: {:?}", out.err());
             let mut issue = IssueCounters::default();
@@ -76,11 +90,7 @@ fn sweep(mode: ExecMode, jobs: usize) -> (ModeRun, IssueCounters) {
             for r in rt.records() {
                 wi += r.result.stats.warp_instrs;
                 ti += r.result.stats.thread_instrs;
-                let i = r.result.stats.issue;
-                issue.memory += i.memory;
-                issue.control += i.control;
-                issue.numeric += i.numeric;
-                issue.misc += i.misc;
+                issue.merge(&r.result.stats.issue);
             }
             (wi, ti, issue)
         },
@@ -90,10 +100,7 @@ fn sweep(mode: ExecMode, jobs: usize) -> (ModeRun, IssueCounters) {
     for (w, t, i) in &per_unit {
         wi += w;
         ti += t;
-        issue.memory += i.memory;
-        issue.control += i.control;
-        issue.numeric += i.numeric;
-        issue.misc += i.misc;
+        issue.merge(i);
     }
     let run = ModeRun {
         wall_s: timing.wall_s,
@@ -109,16 +116,28 @@ fn sweep(mode: ExecMode, jobs: usize) -> (ModeRun, IssueCounters) {
     (run, issue)
 }
 
-/// Runs the comparison (decoded first, then reference) and returns the
-/// report. The issue-class breakdown is asserted identical across modes
-/// — a cheap online rerun of the decode-equivalence property.
+/// Runs the comparison (decoded serial, decoded CTA-parallel, then
+/// reference serial) and returns the report. Workloads always run one
+/// at a time — `jobs` buys CTA-shard workers in the parallel sweep
+/// only — so the sweeps' wall times are directly comparable instead of
+/// confounded by outer-level scheduling. The issue-class breakdown and
+/// instruction counts are asserted identical across all three sweeps —
+/// a cheap online rerun of the decode-equivalence property that also
+/// covers the parallel engine's stat merge.
 pub fn compare(jobs: usize) -> HotLoopReport {
-    let (decoded, issue_d) = sweep(ExecMode::Decoded, jobs);
-    let (reference, issue_r) = sweep(ExecMode::Reference, jobs);
+    let (decoded, issue_d) = sweep(ExecMode::Decoded, 1, 1);
+    let (parallel, issue_p) = sweep(ExecMode::Decoded, 1, jobs);
+    let (reference, issue_r) = sweep(ExecMode::Reference, 1, 1);
+    assert_eq!(
+        issue_d, issue_p,
+        "issue-class counters diverge between serial and CTA-parallel runs"
+    );
     assert_eq!(
         issue_d, issue_r,
         "issue-class counters diverge between interpreters"
     );
+    assert_eq!(decoded.warp_instrs, parallel.warp_instrs);
+    assert_eq!(decoded.thread_instrs, parallel.thread_instrs);
     assert_eq!(decoded.warp_instrs, reference.warp_instrs);
     assert_eq!(decoded.thread_instrs, reference.thread_instrs);
     HotLoopReport {
@@ -129,7 +148,13 @@ pub fn compare(jobs: usize) -> HotLoopReport {
         } else {
             1.0
         },
+        parallel_speedup: if parallel.wall_s > 0.0 {
+            decoded.wall_s / parallel.wall_s
+        } else {
+            1.0
+        },
         decoded,
+        parallel,
         reference,
         issue: issue_d,
     }

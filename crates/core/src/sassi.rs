@@ -5,7 +5,7 @@ use crate::handler::{Handler, SiteCtx};
 use crate::pass;
 use crate::spec::{HandlerRef, InfoFlags, InstPoint, InstrumentSpec, SiteFilter, SpillPolicy};
 use sassi_isa::Function;
-use sassi_sim::{HandlerCost, HandlerRuntime, TrapCtx};
+use sassi_sim::{HandlerCost, HandlerRuntime, RuntimeShard, TrapCtx};
 
 struct NativeEntry {
     handler: Box<dyn Handler>,
@@ -143,5 +143,36 @@ impl HandlerRuntime for Sassi {
             what: entry.what,
         };
         entry.handler.handle(&mut ctx)
+    }
+
+    /// Forks the whole instrumentor for one SM shard: every native
+    /// handler must fork ([`Handler::fork`]), or the launch stays
+    /// sequential. The composed join merges each handler's shard state
+    /// in registration order.
+    fn fork_shard(&self) -> Option<RuntimeShard> {
+        let mut natives = Vec::with_capacity(self.natives.len());
+        let mut joins = Vec::with_capacity(self.natives.len());
+        for entry in &self.natives {
+            let shard = entry.handler.fork()?;
+            natives.push(NativeEntry {
+                handler: shard.handler,
+                what: entry.what,
+                point: entry.point,
+            });
+            joins.push(shard.join);
+        }
+        let forked = Sassi {
+            specs: self.specs.clone(),
+            natives,
+            policy: self.policy,
+        };
+        Some(RuntimeShard {
+            runtime: Box::new(forked),
+            join: Box::new(move || {
+                for join in joins {
+                    join();
+                }
+            }),
+        })
     }
 }

@@ -51,6 +51,22 @@ pub struct HierarchyStats {
     pub dram_transactions: u64,
 }
 
+impl HierarchyStats {
+    /// Accumulates another hierarchy's counters into this one (used to
+    /// merge per-shard hierarchies after a CTA-parallel launch).
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.warp_accesses += other.warp_accesses;
+        self.transactions += other.transactions;
+        self.l1.hits += other.l1.hits;
+        self.l1.misses += other.l1.misses;
+        self.l1.writebacks += other.l1.writebacks;
+        self.l2.hits += other.l2.hits;
+        self.l2.misses += other.l2.misses;
+        self.l2.writebacks += other.l2.writebacks;
+        self.dram_transactions += other.dram_transactions;
+    }
+}
+
 /// Result of servicing one warp memory instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessOutcome {

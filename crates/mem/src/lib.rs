@@ -24,6 +24,6 @@ mod hierarchy;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalesce::{coalesce_addresses, CoalesceResult, LINE_BYTES};
-pub use device::{DeviceMemory, MemError};
+pub use device::{apply_atom, DeviceMemory, JournalOp, MemError};
 pub use dram::{Dram, DramConfig};
 pub use hierarchy::{AccessOutcome, HierarchyConfig, HierarchyStats, MemoryHierarchy};

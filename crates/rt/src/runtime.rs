@@ -108,6 +108,15 @@ impl Runtime {
         Runtime::new(Device::with_defaults())
     }
 
+    /// Sets how many worker threads execute the CTA shards of each
+    /// launch (the inner half of the `SASSI_JOBS` budget). Launch
+    /// results are byte-identical for any value; `1` (the default)
+    /// runs shards sequentially on the calling thread.
+    pub fn set_cta_jobs(&mut self, jobs: usize) -> &mut Runtime {
+        self.device.cta_jobs = jobs.max(1);
+        self
+    }
+
     /// Allocates a device buffer (`cudaMalloc`).
     ///
     /// # Panics

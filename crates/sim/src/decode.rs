@@ -33,8 +33,8 @@
 use crate::module::Module;
 use crate::stats::{FaultKind, IssueClass};
 use sassi_isa::{
-    AtomOp, CmpOp, Gpr, Instr, Label, LogicOp, MemAddr, MemWidth, MufuFunc, Op, PredReg, ShflMode,
-    SpecialReg, Src, VoteMode,
+    AddrSpace, AtomOp, CmpOp, Gpr, Instr, Label, LogicOp, MemAddr, MemWidth, MufuFunc, Op, PredReg,
+    ShflMode, SpecialReg, Src, VoteMode,
 };
 
 /// Guard byte sentinel: the statically-always-true guard (`@PT`).
@@ -367,6 +367,10 @@ pub struct DecodedModule {
     /// Bit `pc` set iff `code[pc]` traps into a native handler.
     trap_bits: Vec<u64>,
     trap_count: u32,
+    /// Whether any global/generic atomic *consumes* its old value
+    /// (`ATOM` with a live destination, or any CAS/EXCH). See
+    /// [`DecodedModule::has_consuming_global_atomics`].
+    consuming_global_atomics: bool,
 }
 
 impl DecodedModule {
@@ -378,11 +382,18 @@ impl DecodedModule {
         let mut code = Vec::with_capacity(n);
         let mut trap_bits = vec![0u64; n.div_ceil(64)];
         let mut trap_count = 0u32;
+        let mut consuming_global_atomics = false;
         for (pc, ins) in module.code.iter().enumerate() {
             let di = decode_instr(ins, n as u32);
             if matches!(di.uop, UOp::Trap { .. }) {
                 trap_bits[pc / 64] |= 1 << (pc % 64);
                 trap_count += 1;
+            }
+            if let UOp::Atom { d, op, addr, .. } = di.uop {
+                let global = matches!(addr.space, AddrSpace::Global | AddrSpace::Generic);
+                let consuming =
+                    matches!(op, AtomOp::Cas | AtomOp::Exch) || d.is_some_and(|g| !g.is_rz());
+                consuming_global_atomics |= global && consuming;
             }
             code.push(di);
         }
@@ -390,7 +401,19 @@ impl DecodedModule {
             code,
             trap_bits,
             trap_count,
+            consuming_global_atomics,
         }
+    }
+
+    /// Whether the module contains a global (or generic) atomic whose
+    /// old value can be observed by the program: an `ATOM` writing a
+    /// live destination, or any CAS/EXCH. Such kernels see a total
+    /// order over cross-CTA atomics, so CTA-parallel launches fall back
+    /// to sequential shard execution. `RED`-style fire-and-forget
+    /// reductions (destination-less or `RZ`) are commutative deltas and
+    /// do not set this.
+    pub fn has_consuming_global_atomics(&self) -> bool {
+        self.consuming_global_atomics
     }
 
     /// The µop at `pc`, if in range.

@@ -6,6 +6,29 @@
 //! for latencies produced by the coalescer/cache/DRAM model, and
 //! control divergence serializes paths exactly as the divergence stack
 //! dictates.
+//!
+//! # SM-worker execution model
+//!
+//! A launch's CTAs are partitioned round-robin over `min(num_sms,
+//! total_blocks)` *shards* — CTA `i` goes to shard `i % shards`, a pure
+//! function of launch geometry. Each shard models one SM: its own warp
+//! contexts, CTA slots, memory hierarchy and [`LaunchStats`]
+//! accumulator, with its own cycle loop. Shard results merge in
+//! canonical shard order (work counters sum, `cycles` takes the max),
+//! so the merged result is independent of how shards were scheduled.
+//!
+//! [`Device::cta_jobs`] chooses how many worker threads execute the
+//! shards (worker `k` runs shards `k`, `k + jobs`, …). Parallel workers
+//! need private global-memory views: each shard gets a
+//! [`DeviceMemory::fork`] whose write journal is committed back in
+//! shard order, and the handler runtime must split via
+//! [`HandlerRuntime::fork_shard`]. Kernels whose global atomics
+//! *consume* the old value (CAS/EXCH or `ATOM` with a live
+//! destination) observe a cross-CTA total order, so such launches —
+//! and launches whose runtime declines to fork — run their shards
+//! sequentially on the calling thread instead, which is always
+//! deterministic. Fire-and-forget `RED` reductions are commutative and
+//! parallelize fine.
 
 use crate::config::{GpuConfig, LaunchDims};
 use crate::decode::{DSrc, DecodedModule, UOp, GUARD_ALWAYS};
@@ -17,7 +40,9 @@ use sassi_isa::{
     cbank0, resolve_generic, AddrSpace, AtomOp, Gpr, LaneMask, LogicOp, MemAddr, MemWidth, PredReg,
     ShflMode, SpecialReg, VoteMode,
 };
-use sassi_mem::{DeviceMemory, MemError, MemoryHierarchy};
+use sassi_mem::{
+    apply_atom, DeviceMemory, HierarchyConfig, HierarchyStats, JournalOp, MemError, MemoryHierarchy,
+};
 use std::fmt;
 
 mod reference;
@@ -58,9 +83,11 @@ pub enum ExecMode {
     Reference,
 }
 
-/// The simulated GPU: configuration, global memory and the cache
-/// hierarchy. Memory contents persist across launches, so hosts can
-/// allocate buffers once and run many kernels, CUDA-style.
+/// The simulated GPU: configuration, global memory and per-SM
+/// execution state. Memory contents persist across launches, so hosts
+/// can allocate buffers once and run many kernels, CUDA-style. SM
+/// slots (warp contexts, CTA slots, cache hierarchies) also persist
+/// and are recycled, so relaunching does not reallocate warp state.
 pub struct Device {
     /// Machine configuration.
     pub cfg: GpuConfig,
@@ -69,7 +96,57 @@ pub struct Device {
     /// Which interpreter loop `launch` runs (defaults to the decoded
     /// fast path; flip to `Reference` for differential testing).
     pub exec_mode: ExecMode,
+    /// Worker threads executing SM shards of one launch. `1` (the
+    /// default) runs shards sequentially on the calling thread; higher
+    /// values fork per-shard memory views and handler runtimes and run
+    /// shards on a fixed-size pool. Results are merged in canonical
+    /// shard order, so they are identical for any value.
+    pub cta_jobs: usize,
+    slots: Vec<SmSlot>,
+    warp_allocations: u64,
+}
+
+/// Persistent per-SM execution state, recycled across launches.
+struct SmSlot {
     hier: MemoryHierarchy,
+    warps: Vec<Warp>,
+    ctas: Vec<Cta>,
+    free_warps: Vec<usize>,
+    free_ctas: Vec<usize>,
+}
+
+impl SmSlot {
+    fn new(cfg: HierarchyConfig) -> SmSlot {
+        SmSlot {
+            hier: MemoryHierarchy::new(1, cfg),
+            warps: Vec::new(),
+            ctas: Vec::new(),
+            free_warps: Vec::new(),
+            free_ctas: Vec::new(),
+        }
+    }
+}
+
+/// The launch-wide immutable inputs shared by every shard.
+struct ShardEnv<'a> {
+    cfg: &'a GpuConfig,
+    module: &'a Module,
+    decoded: &'a DecodedModule,
+    mode: ExecMode,
+    kernel: &'a LinkedFunction,
+    dims: LaunchDims,
+    cbank: Vec<u8>,
+    launch_index: u64,
+    max_cycles: u64,
+}
+
+/// One shard's contribution to the launch result.
+struct ShardOut {
+    outcome: KernelOutcome,
+    stats: LaunchStats,
+    mem_stats: HierarchyStats,
+    journal: Vec<JournalOp>,
+    warp_allocs: u64,
 }
 
 impl Device {
@@ -79,13 +156,22 @@ impl Device {
             cfg,
             mem: DeviceMemory::new(heap_bytes),
             exec_mode: ExecMode::default(),
-            hier: MemoryHierarchy::new(cfg.num_sms as usize, cfg.hierarchy),
+            cta_jobs: 1,
+            slots: Vec::new(),
+            warp_allocations: 0,
         }
     }
 
     /// A default device with a 256 MiB heap.
     pub fn with_defaults() -> Device {
         Device::new(GpuConfig::default(), 256 << 20)
+    }
+
+    /// Total fresh warp-context allocations since device creation.
+    /// Relaunches reuse retired contexts, so this does not grow when
+    /// the same geometry is launched again.
+    pub fn warp_allocations(&self) -> u64 {
+        self.warp_allocations
     }
 
     /// Launches `kernel` from `module` and runs it to completion (or
@@ -127,36 +213,201 @@ impl Device {
             )));
         }
 
-        self.hier.reset();
-        let mut exec = Exec {
+        let total = dims.total_blocks();
+        let num_shards = self.cfg.num_sms.min(total).max(1) as usize;
+        while self.slots.len() < num_shards {
+            self.slots.push(SmSlot::new(self.cfg.hierarchy));
+        }
+        // CTA i runs on shard i % num_shards: a pure function of launch
+        // geometry, so shard contents are identical for any job count.
+        let queues: Vec<Vec<u32>> = (0..num_shards as u32)
+            .map(|s| (s..total).step_by(num_shards).collect())
+            .collect();
+        let decoded = module.decoded();
+        let env = ShardEnv {
             cfg: &self.cfg,
             module,
-            decoded: module.decoded(),
+            decoded,
             mode: self.exec_mode,
             kernel: kf,
             dims,
             cbank: build_cbank0(&self.cfg, kf, dims, params),
-            mem: &mut self.mem,
-            hier: &mut self.hier,
-            runtime,
             launch_index,
-            ctas: Vec::new(),
-            warps: Vec::new(),
-            sm_warps: vec![Vec::new(); self.cfg.num_sms as usize],
-            sm_rr: vec![0; self.cfg.num_sms as usize],
-            sm_load: vec![0; self.cfg.num_sms as usize],
-            next_block: 0,
-            cycle: 0,
-            stats: LaunchStats::default(),
+            max_cycles,
         };
-        let outcome = exec.run(max_cycles);
-        let mut stats = exec.stats;
-        stats.cycles = exec.cycle;
+
+        let jobs = self.cta_jobs.max(1).min(num_shards);
+        // Parallel shards need private memory views, which is only
+        // sound when no CTA consumes another CTA's atomic results, and
+        // a handler runtime whose state can be forked and merged.
+        let forks = if jobs > 1 && num_shards > 1 && !decoded.has_consuming_global_atomics() {
+            let mut v = Vec::with_capacity(num_shards);
+            for _ in 0..num_shards {
+                match runtime.fork_shard() {
+                    Some(f) => v.push(f),
+                    None => break,
+                }
+            }
+            (v.len() == num_shards).then_some(v)
+        } else {
+            None
+        };
+
+        let mut joins: Vec<Option<Box<dyn FnOnce() + Send>>> = Vec::new();
+        let outs: Vec<ShardOut> = match forks {
+            Some(forks) => {
+                let mut runtimes: Vec<Box<dyn HandlerRuntime + Send>> =
+                    Vec::with_capacity(num_shards);
+                for f in forks {
+                    runtimes.push(f.runtime);
+                    joins.push(Some(f.join));
+                }
+                let mems: Vec<DeviceMemory> = (0..num_shards).map(|_| self.mem.fork()).collect();
+                let env = &env;
+                // One shard's worker assignment: its index, SM slot,
+                // forked memory view and forked handler runtime.
+                type ShardWork<'s> = (
+                    usize,
+                    &'s mut SmSlot,
+                    DeviceMemory,
+                    Box<dyn HandlerRuntime + Send>,
+                );
+                // Deal shards statically: worker k runs shards
+                // k, k + jobs, … — no load-dependent scheduling.
+                let mut groups: Vec<Vec<ShardWork<'_>>> = (0..jobs).map(|_| Vec::new()).collect();
+                for (s, ((slot, mem), rt)) in self.slots[..num_shards]
+                    .iter_mut()
+                    .zip(mems)
+                    .zip(runtimes)
+                    .enumerate()
+                {
+                    groups[s % jobs].push((s, slot, mem, rt));
+                }
+                let queues = &queues;
+                let mut results: Vec<Option<ShardOut>> = (0..num_shards).map(|_| None).collect();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .into_iter()
+                        .map(|group| {
+                            scope.spawn(move || {
+                                group
+                                    .into_iter()
+                                    .map(|(s, slot, mut mem, mut rt)| {
+                                        let out = run_shard(
+                                            env,
+                                            slot,
+                                            &mut mem,
+                                            rt.as_mut(),
+                                            s as u32,
+                                            &queues[s],
+                                        );
+                                        (s, out)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        for (s, out) in h.join().expect("shard worker panicked") {
+                            results[s] = Some(out);
+                        }
+                    }
+                });
+                results
+                    .into_iter()
+                    .map(|o| o.expect("every shard ran"))
+                    .collect()
+            }
+            None => (0..num_shards)
+                .map(|s| {
+                    run_shard(
+                        &env,
+                        &mut self.slots[s],
+                        &mut self.mem,
+                        &mut *runtime,
+                        s as u32,
+                        &queues[s],
+                    )
+                })
+                .collect(),
+        };
+
+        // Merge in canonical shard order: commit journals, sum work
+        // counters (cycles take the max), pick the lowest-shard fault,
+        // and fold shard handler state back into the parent runtime.
+        let mut outcome = KernelOutcome::Completed;
+        let mut stats = LaunchStats::default();
+        let mut mem_stats = HierarchyStats::default();
+        for (s, out) in outs.iter().enumerate() {
+            self.mem.commit(&out.journal);
+            stats.merge_shard(&out.stats);
+            mem_stats.merge(&out.mem_stats);
+            self.warp_allocations += out.warp_allocs;
+            if outcome.is_ok() && !out.outcome.is_ok() {
+                outcome = out.outcome;
+            }
+            if let Some(join) = joins.get_mut(s).and_then(|j| j.take()) {
+                join();
+            }
+        }
         Ok(LaunchResult {
             outcome,
             stats,
-            mem: self.hier.stats(),
+            mem: mem_stats,
         })
+    }
+}
+
+/// Runs one SM shard to completion and returns its contribution.
+fn run_shard(
+    env: &ShardEnv<'_>,
+    slot: &mut SmSlot,
+    mem: &mut DeviceMemory,
+    runtime: &mut dyn HandlerRuntime,
+    sm_id: u32,
+    queue: &[u32],
+) -> ShardOut {
+    slot.hier.reset();
+    slot.free_warps.clear();
+    slot.free_warps.extend(0..slot.warps.len());
+    slot.free_ctas.clear();
+    slot.free_ctas.extend(0..slot.ctas.len());
+    let mut exec = Exec {
+        cfg: env.cfg,
+        module: env.module,
+        decoded: env.decoded,
+        mode: env.mode,
+        kernel: env.kernel,
+        dims: env.dims,
+        cbank: &env.cbank,
+        mem,
+        hier: &mut slot.hier,
+        runtime,
+        launch_index: env.launch_index,
+        sm_id,
+        queue,
+        next_in_queue: 0,
+        ctas: &mut slot.ctas,
+        warps: &mut slot.warps,
+        free_warps: &mut slot.free_warps,
+        free_ctas: &mut slot.free_ctas,
+        list: Vec::new(),
+        rr: 0,
+        cycle: 0,
+        stats: LaunchStats::default(),
+        warp_allocs: 0,
+    };
+    let outcome = exec.run(env.max_cycles);
+    let mut stats = exec.stats;
+    stats.cycles = exec.cycle;
+    let warp_allocs = exec.warp_allocs;
+    drop(exec);
+    ShardOut {
+        outcome,
+        stats,
+        mem_stats: slot.hier.stats(),
+        journal: mem.take_journal(),
+        warp_allocs,
     }
 }
 
@@ -188,9 +439,10 @@ struct Cta {
     warps_total: u32,
     warps_done: u32,
     warps_at_barrier: u32,
-    sm: usize,
 }
 
+/// The execution loop of one SM shard: borrows the shard's persistent
+/// state from its [`SmSlot`] and runs its CTA queue to completion.
 struct Exec<'a> {
     cfg: &'a GpuConfig,
     module: &'a Module,
@@ -198,22 +450,29 @@ struct Exec<'a> {
     mode: ExecMode,
     kernel: &'a LinkedFunction,
     dims: LaunchDims,
-    cbank: Vec<u8>,
+    cbank: &'a [u8],
     mem: &'a mut DeviceMemory,
     hier: &'a mut MemoryHierarchy,
     runtime: &'a mut dyn HandlerRuntime,
     launch_index: u64,
-    ctas: Vec<Cta>,
-    warps: Vec<Warp>,
-    sm_warps: Vec<Vec<usize>>,
-    sm_rr: Vec<usize>,
-    sm_load: Vec<u32>, // resident CTAs per SM
-    next_block: u32,
+    /// Global shard id — the SM id handlers and `%smid` observe.
+    sm_id: u32,
+    /// Linear CTA ids assigned to this shard, issued in order.
+    queue: &'a [u32],
+    next_in_queue: usize,
+    ctas: &'a mut Vec<Cta>,
+    warps: &'a mut Vec<Warp>,
+    free_warps: &'a mut Vec<usize>,
+    free_ctas: &'a mut Vec<usize>,
+    /// Warp indices resident on this SM.
+    list: Vec<usize>,
+    rr: usize,
     cycle: u64,
     stats: LaunchStats,
+    warp_allocs: u64,
 }
 
-impl<'a> Exec<'a> {
+impl Exec<'_> {
     fn ctas_per_sm(&self) -> u32 {
         let wpb = self.dims.warps_per_block();
         let by_warps = self.cfg.max_warps_per_sm / wpb;
@@ -231,24 +490,38 @@ impl<'a> Exec<'a> {
         (linear % gx, (linear / gx) % gy, linear / (gx * gy))
     }
 
-    fn issue_block(&mut self, sm: usize) {
-        if self.next_block >= self.dims.total_blocks() {
+    fn issue_block(&mut self) {
+        let Some(&linear) = self.queue.get(self.next_in_queue) else {
             return;
-        }
-        let linear = self.next_block;
-        self.next_block += 1;
+        };
+        self.next_in_queue += 1;
         self.stats.blocks += 1;
         let wpb = self.dims.warps_per_block();
         let tpb = self.dims.threads_per_block();
-        let cta_idx = self.ctas.len();
-        self.ctas.push(Cta {
-            ctaid: self.block_coords(linear),
-            shared: vec![0; ((self.kernel.meta.shared_bytes + 7) & !7) as usize],
-            warps_total: wpb,
-            warps_done: 0,
-            warps_at_barrier: 0,
-            sm,
-        });
+        let shared_len = ((self.kernel.meta.shared_bytes + 7) & !7) as usize;
+        let ctaid = self.block_coords(linear);
+        let cta_idx = match self.free_ctas.pop() {
+            Some(i) => {
+                let c = &mut self.ctas[i];
+                c.ctaid = ctaid;
+                c.shared.clear();
+                c.shared.resize(shared_len, 0);
+                c.warps_total = wpb;
+                c.warps_done = 0;
+                c.warps_at_barrier = 0;
+                i
+            }
+            None => {
+                self.ctas.push(Cta {
+                    ctaid,
+                    shared: vec![0; shared_len],
+                    warps_total: wpb,
+                    warps_done: 0,
+                    warps_at_barrier: 0,
+                });
+                self.ctas.len() - 1
+            }
+        };
         for w in 0..wpb {
             let first = w * 32;
             let count = tpb.saturating_sub(first).min(32);
@@ -257,107 +530,103 @@ impl<'a> Exec<'a> {
             } else {
                 (1u32 << count) - 1
             };
-            let warp = Warp::new(
-                cta_idx,
-                w,
-                self.kernel.entry,
-                existing,
-                self.cfg.regs_per_thread,
-                self.cfg.local_bytes_per_thread,
-            );
-            let wi = self.warps.len();
-            self.warps.push(warp);
-            self.sm_warps[sm].push(wi);
+            let wi = match self.free_warps.pop() {
+                Some(i) => {
+                    self.warps[i].reset(
+                        cta_idx,
+                        w,
+                        self.kernel.entry,
+                        existing,
+                        self.cfg.regs_per_thread,
+                        self.cfg.local_bytes_per_thread,
+                    );
+                    i
+                }
+                None => {
+                    self.warp_allocs += 1;
+                    self.warps.push(Warp::new(
+                        cta_idx,
+                        w,
+                        self.kernel.entry,
+                        existing,
+                        self.cfg.regs_per_thread,
+                        self.cfg.local_bytes_per_thread,
+                    ));
+                    self.warps.len() - 1
+                }
+            };
+            self.list.push(wi);
         }
-        self.sm_load[sm] += 1;
     }
 
     fn run(&mut self, max_cycles: u64) -> KernelOutcome {
-        // Fill each SM to occupancy.
+        // Fill the SM to occupancy.
         let target = self.ctas_per_sm();
-        for sm in 0..self.cfg.num_sms as usize {
-            for _ in 0..target {
-                self.issue_block(sm);
-            }
+        for _ in 0..target {
+            self.issue_block();
         }
 
         loop {
             if self.cycle > max_cycles {
                 return KernelOutcome::Hang;
             }
-            let mut issued = false;
-            let mut all_idle_until = u64::MAX;
-            let mut any_alive = false;
-            for sm in 0..self.cfg.num_sms as usize {
-                match self.pick(sm) {
-                    Pick::Warp(wi) => {
-                        issued = true;
-                        any_alive = true;
-                        if let Err(kind) = self.step(wi, sm) {
-                            return KernelOutcome::Fault(FaultInfo {
-                                kind,
-                                pc: self.warps[wi].pc,
-                                sm: sm as u32,
-                            });
-                        }
+            match self.pick() {
+                Pick::Warp(wi) => {
+                    if let Err(kind) = self.step(wi) {
+                        return KernelOutcome::Fault(FaultInfo {
+                            kind,
+                            pc: self.warps[wi].pc,
+                            sm: self.sm_id,
+                        });
                     }
-                    Pick::Stalled(until) => {
-                        any_alive = true;
-                        all_idle_until = all_idle_until.min(until);
-                    }
-                    Pick::Empty => {}
+                    self.cycle += 1;
                 }
-            }
-            if !any_alive && self.next_block >= self.dims.total_blocks() {
-                return KernelOutcome::Completed;
-            }
-            if issued {
-                self.cycle += 1;
-            } else if all_idle_until != u64::MAX {
-                self.cycle = all_idle_until.max(self.cycle + 1);
-            } else {
-                // Warps alive but none ever becomes ready: barrier
-                // deadlock. Treat as a hang.
-                return KernelOutcome::Hang;
+                Pick::Stalled(until) => {
+                    self.cycle = until.max(self.cycle + 1);
+                }
+                Pick::Empty => {
+                    if self.next_in_queue >= self.queue.len() {
+                        return KernelOutcome::Completed;
+                    }
+                    self.issue_block();
+                }
             }
         }
     }
 
-    fn pick(&mut self, sm: usize) -> Pick {
+    fn pick(&mut self) -> Pick {
         // Retire finished warps lazily and pick round-robin.
         let mut i = 0;
-        while i < self.sm_warps[sm].len() {
-            let wi = self.sm_warps[sm][i];
+        while i < self.list.len() {
+            let wi = self.list[i];
             if self.warps[wi].status == WarpStatus::Done {
-                // Free the warp's storage and unlist it.
-                self.warps[wi].regs = Vec::new();
-                self.warps[wi].local = Vec::new();
-                self.sm_warps[sm].swap_remove(i);
+                // Unlist the warp and recycle its context (registers
+                // and local slab are zeroed on reuse, not freed).
+                self.list.swap_remove(i);
+                self.free_warps.push(wi);
                 let cta = self.warps[wi].cta;
                 self.ctas[cta].warps_done += 1;
                 self.maybe_release_barrier(cta);
                 if self.ctas[cta].warps_done == self.ctas[cta].warps_total {
-                    self.ctas[cta].shared = Vec::new();
-                    self.sm_load[sm] -= 1;
-                    self.issue_block(sm);
+                    self.free_ctas.push(cta);
+                    self.issue_block();
                 }
                 continue;
             }
             i += 1;
         }
-        let list = &self.sm_warps[sm];
-        if list.is_empty() {
+        if self.list.is_empty() {
             return Pick::Empty;
         }
-        let n = list.len();
-        let start = self.sm_rr[sm] % n;
+        let n = self.list.len();
+        let start = self.rr % n;
         let mut min_ready = u64::MAX;
         for k in 0..n {
-            let wi = list[(start + k) % n];
+            let wi = self.list[(start + k) % n];
             let w = &self.warps[wi];
             if w.status == WarpStatus::Ready {
                 if w.ready_at <= self.cycle {
-                    self.sm_rr[sm] = (start + k + 1) % n;
+                    self.rr = (start + k + 1) % n;
                     return Pick::Warp(wi);
                 }
                 min_ready = min_ready.min(w.ready_at);
@@ -377,12 +646,11 @@ impl<'a> Exec<'a> {
         let waiting_target = cta.warps_total - cta.warps_done;
         if cta.warps_at_barrier > 0 && cta.warps_at_barrier >= waiting_target {
             self.ctas[cta_idx].warps_at_barrier = 0;
-            for list in &self.sm_warps {
-                for &wi in list {
-                    let w = &mut self.warps[wi];
-                    if w.cta == cta_idx && w.status == WarpStatus::AtBarrier {
-                        w.status = WarpStatus::Ready;
-                    }
+            for i in 0..self.list.len() {
+                let wi = self.list[i];
+                let w = &mut self.warps[wi];
+                if w.cta == cta_idx && w.status == WarpStatus::AtBarrier {
+                    w.status = WarpStatus::Ready;
                 }
             }
         }
@@ -434,20 +702,20 @@ impl<'a> Exec<'a> {
 
     /// Executes one instruction of warp `wi`. Returns a fault kind on
     /// abort.
-    fn step(&mut self, wi: usize, sm: usize) -> Result<(), FaultKind> {
+    fn step(&mut self, wi: usize) -> Result<(), FaultKind> {
         match self.mode {
-            ExecMode::Decoded => self.step_decoded(wi, sm),
-            ExecMode::Reference => self.step_reference(wi, sm),
+            ExecMode::Decoded => self.step_decoded(wi),
+            ExecMode::Reference => self.step_reference(wi),
         }
     }
 
     /// The pre-decoded hot loop: executes one µop with no allocation,
     /// no `Instr` clone and no operand re-matching.
-    fn step_decoded(&mut self, wi: usize, sm: usize) -> Result<(), FaultKind> {
-        // Copying the `&'a` reference out of `self` unties the
+    fn step_decoded(&mut self, wi: usize) -> Result<(), FaultKind> {
+        // Copying the long-lived reference out of `self` unties the
         // instruction from the `&mut self` borrow, so the borrow
         // checker permits mutating warp/stat state while `di` lives.
-        let dm: &'a DecodedModule = self.decoded;
+        let dm: &DecodedModule = self.decoded;
         let pc = self.warps[wi].pc;
         let Some(di) = dm.get(pc) else {
             return Err(FaultKind::InvalidPc { pc: pc as u64 });
@@ -527,7 +795,7 @@ impl<'a> Exec<'a> {
                         ctaid: cta.ctaid,
                         block_dim: self.dims.block,
                         grid_dim: self.dims.grid,
-                        sm_id: sm as u32,
+                        sm_id: self.sm_id,
                         cycle: self.cycle,
                         kernel: &self.kernel.name,
                         launch_index: self.launch_index,
@@ -565,12 +833,12 @@ impl<'a> Exec<'a> {
 
             // ---- memory -----------------------------------------------------
             UOp::Ld { d, width, addr } => {
-                self.mem_load(wi, sm, mask, d, width, &addr, false)?;
+                self.mem_load(wi, mask, d, width, &addr, false)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
             UOp::St { v, width, addr } => {
-                self.mem_store(wi, sm, mask, v, width, &addr)?;
+                self.mem_store(wi, mask, v, width, &addr)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
@@ -582,7 +850,7 @@ impl<'a> Exec<'a> {
                 v2,
                 wide,
             } => {
-                self.mem_atomic(wi, sm, mask, d, op, &addr, v, v2, wide)?;
+                self.mem_atomic(wi, mask, d, op, &addr, v, v2, wide)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
@@ -1023,7 +1291,7 @@ impl<'a> Exec<'a> {
             warp_in_cta: w.warp_in_cta,
             active: w.active,
             ctaid: cta.ctaid,
-            sm: cta.sm as u32,
+            sm: self.sm_id,
             block: self.dims.block,
             grid: self.dims.grid,
             cycle: self.cycle,
@@ -1079,7 +1347,6 @@ impl<'a> Exec<'a> {
     fn mem_load(
         &mut self,
         wi: usize,
-        sm: usize,
         mask: LaneMask,
         d: Gpr,
         width: MemWidth,
@@ -1136,7 +1403,6 @@ impl<'a> Exec<'a> {
             write_load_result(w, lane, d, width, &data);
         }
         let lat = self.mem_latency(
-            sm,
             &global_addrs[..n_global],
             bytes,
             false,
@@ -1150,7 +1416,6 @@ impl<'a> Exec<'a> {
     fn mem_store(
         &mut self,
         wi: usize,
-        sm: usize,
         mask: LaneMask,
         v: Gpr,
         width: MemWidth,
@@ -1209,7 +1474,6 @@ impl<'a> Exec<'a> {
             }
         }
         let lat = self.mem_latency(
-            sm,
             &global_addrs[..n_global],
             bytes,
             true,
@@ -1224,7 +1488,6 @@ impl<'a> Exec<'a> {
     fn mem_atomic(
         &mut self,
         wi: usize,
-        sm: usize,
         mask: LaneMask,
         d: Option<Gpr>,
         op: AtomOp,
@@ -1263,18 +1526,12 @@ impl<'a> Exec<'a> {
                 AddrSpace::Global | AddrSpace::Generic => {
                     global_addrs[n_global] = a;
                     n_global += 1;
-                    let old = if wide {
-                        self.mem.read_u64(a).map_err(mem_fault)?
-                    } else {
-                        self.mem.read_u32(a).map_err(mem_fault)? as u64
-                    };
-                    let new = apply_atom(op, old, operand, operand2, wide);
-                    if wide {
-                        self.mem.write_u64(a, new).map_err(mem_fault)?;
-                    } else {
-                        self.mem.write_u32(a, new as u32).map_err(mem_fault)?;
-                    }
-                    old
+                    // DeviceMemory applies the read-modify-write and,
+                    // on forked shard views, records it in the journal
+                    // so the master re-applies it at commit time.
+                    self.mem
+                        .atomic(op, a, operand, operand2, wide)
+                        .map_err(mem_fault)?
                 }
                 AddrSpace::Shared => {
                     let cta = &mut self.ctas[self.warps[wi].cta];
@@ -1308,14 +1565,8 @@ impl<'a> Exec<'a> {
             }
         }
         let width = if wide { 8 } else { 4 };
-        let mut lat = self.mem_latency(
-            sm,
-            &global_addrs[..n_global],
-            width,
-            true,
-            false,
-            n_global == 0,
-        );
+        let mut lat =
+            self.mem_latency(&global_addrs[..n_global], width, true, false, n_global == 0);
         lat += 16; // read-modify-write turnaround
         finish(&mut self.warps[wi], self.cycle, lat);
         Ok(())
@@ -1323,7 +1574,6 @@ impl<'a> Exec<'a> {
 
     fn mem_latency(
         &mut self,
-        sm: usize,
         global_addrs: &[u64],
         width: u32,
         write: bool,
@@ -1334,7 +1584,7 @@ impl<'a> Exec<'a> {
         if !global_addrs.is_empty() {
             let out = self
                 .hier
-                .access_global(sm, self.cycle, global_addrs, width, write);
+                .access_global(0, self.cycle, global_addrs, width, write);
             lat = lat.max(out.ready_at.saturating_sub(self.cycle));
         }
         if has_local {
@@ -1437,6 +1687,9 @@ fn mem_fault(e: MemError) -> FaultKind {
     }
 }
 
+// `apply_atom` lives in `sassi_mem` (the journaled global path uses it
+// there); the shared-memory path above imports it from that crate.
+
 fn write_load_result(w: &mut Warp, lane: usize, d: Gpr, width: MemWidth, data: &[u8; 16]) {
     match width {
         MemWidth::U8 => w.set_reg(lane, d, data[0] as u32),
@@ -1456,25 +1709,4 @@ fn write_load_result(w: &mut Warp, lane: usize, d: Gpr, width: MemWidth, data: &
             }
         }
     }
-}
-
-fn apply_atom(op: AtomOp, old: u64, v: u64, v2: u64, wide: bool) -> u64 {
-    let m = if wide { u64::MAX } else { u32::MAX as u64 };
-    let r = match op {
-        AtomOp::Add => old.wrapping_add(v),
-        AtomOp::Min => old.min(v),
-        AtomOp::Max => old.max(v),
-        AtomOp::And => old & v,
-        AtomOp::Or => old | v,
-        AtomOp::Xor => old ^ v,
-        AtomOp::Exch => v,
-        AtomOp::Cas => {
-            if old == v {
-                v2
-            } else {
-                old
-            }
-        }
-    };
-    r & m
 }

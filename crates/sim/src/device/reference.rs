@@ -12,7 +12,7 @@ use super::*;
 use crate::stats::IssueClass;
 use sassi_isa::{Instr, Label, Op, Src};
 
-impl<'a> Exec<'a> {
+impl Exec<'_> {
     fn const_read(&self, bank: u8, offset: u16) -> u32 {
         if bank != 0 {
             return 0;
@@ -44,10 +44,10 @@ impl<'a> Exec<'a> {
 
     /// Executes one instruction of warp `wi` from the `Instr` array.
     /// Returns a fault kind on abort.
-    pub(super) fn step_reference(&mut self, wi: usize, sm: usize) -> Result<(), FaultKind> {
-        // Copying the `&'a` reference out of `self` unties the
+    pub(super) fn step_reference(&mut self, wi: usize) -> Result<(), FaultKind> {
+        // Copying the long-lived reference out of `self` unties the
         // instruction from the `&mut self` borrow.
-        let module: &'a Module = self.module;
+        let module: &Module = self.module;
         let pc = self.warps[wi].pc;
         if pc as usize >= module.code.len() {
             return Err(FaultKind::InvalidPc { pc: pc as u64 });
@@ -135,7 +135,7 @@ impl<'a> Exec<'a> {
                                 ctaid: cta.ctaid,
                                 block_dim: self.dims.block,
                                 grid_dim: self.dims.grid,
-                                sm_id: sm as u32,
+                                sm_id: self.sm_id,
                                 cycle: self.cycle,
                                 kernel: &self.kernel.name,
                                 launch_index: self.launch_index,
@@ -176,17 +176,17 @@ impl<'a> Exec<'a> {
 
             // ---- memory -----------------------------------------------------
             Op::Ld { d, width, addr, .. } => {
-                self.mem_load(wi, sm, mask, *d, *width, addr, false)?;
+                self.mem_load(wi, mask, *d, *width, addr, false)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
             Op::Tld { d, width, addr } => {
-                self.mem_load(wi, sm, mask, *d, *width, addr, true)?;
+                self.mem_load(wi, mask, *d, *width, addr, true)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
             Op::St { v, width, addr, .. } => {
-                self.mem_store(wi, sm, mask, *v, *width, addr)?;
+                self.mem_store(wi, mask, *v, *width, addr)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
@@ -198,12 +198,12 @@ impl<'a> Exec<'a> {
                 v2,
                 wide,
             } => {
-                self.mem_atomic(wi, sm, mask, Some(*d), *op, addr, *v, *v2, *wide)?;
+                self.mem_atomic(wi, mask, Some(*d), *op, addr, *v, *v2, *wide)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }
             Op::Red { op, addr, v, wide } => {
-                self.mem_atomic(wi, sm, mask, None, *op, addr, *v, None, *wide)?;
+                self.mem_atomic(wi, mask, None, *op, addr, *v, None, *wide)?;
                 self.warps[wi].pc += 1;
                 return Ok(());
             }

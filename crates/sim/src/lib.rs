@@ -58,5 +58,5 @@ pub use module::{LinkError, LinkedFunction, Module};
 pub use stats::{
     FaultInfo, FaultKind, IssueClass, IssueCounters, KernelOutcome, LaunchResult, LaunchStats,
 };
-pub use trap::{HandlerCost, HandlerRuntime, NoHandlers, TrapCtx};
+pub use trap::{HandlerCost, HandlerRuntime, NoHandlers, RuntimeShard, TrapCtx};
 pub use warp::{StackEntry, Warp, WarpStatus};

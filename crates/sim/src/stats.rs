@@ -154,6 +154,14 @@ impl IssueCounters {
     pub fn total(&self) -> u64 {
         self.memory + self.control + self.numeric + self.misc
     }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &IssueCounters) {
+        self.memory += other.memory;
+        self.control += other.control;
+        self.numeric += other.numeric;
+        self.misc += other.misc;
+    }
 }
 
 /// Statistics of one kernel launch.
@@ -178,6 +186,23 @@ pub struct LaunchStats {
     pub blocks: u64,
     /// Warp-level issues broken down by instruction class.
     pub issue: IssueCounters,
+}
+
+impl LaunchStats {
+    /// Merges one SM shard's counters into the launch aggregate: work
+    /// counters sum; `cycles` is the maximum over shards, because the
+    /// shards model SMs running concurrently.
+    pub fn merge_shard(&mut self, shard: &LaunchStats) {
+        self.cycles = self.cycles.max(shard.cycles);
+        self.warp_instrs += shard.warp_instrs;
+        self.thread_instrs += shard.thread_instrs;
+        self.divergent_branches += shard.divergent_branches;
+        self.cond_branches += shard.cond_branches;
+        self.handler_calls += shard.handler_calls;
+        self.handler_cycles += shard.handler_cycles;
+        self.blocks += shard.blocks;
+        self.issue.merge(&shard.issue);
+    }
 }
 
 /// The result of a launch: outcome, counters and the memory hierarchy's

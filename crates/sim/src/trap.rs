@@ -217,11 +217,33 @@ impl TrapCtx<'_> {
     }
 }
 
+/// A shard-local fork of a handler runtime, for CTA-parallel launches.
+///
+/// The `runtime` half moves to the shard's worker thread and receives
+/// that shard's traps; `join` stays on the launching thread and is
+/// called — in canonical shard order, after every shard has finished —
+/// to merge the shard's accumulated handler state back into the parent.
+pub struct RuntimeShard {
+    /// The forked runtime executed by the shard.
+    pub runtime: Box<dyn HandlerRuntime + Send>,
+    /// Merges the shard's handler state into the parent runtime.
+    pub join: Box<dyn FnOnce() + Send>,
+}
+
 /// Receives traps from `JCAL handlerN` instructions.
 pub trait HandlerRuntime {
     /// Handles trap `id` for the given warp; the returned cost is
     /// charged to the warp as cycles.
     fn handle(&mut self, id: u32, ctx: &mut TrapCtx<'_>) -> HandlerCost;
+
+    /// Forks a shard-local runtime for one SM shard of a CTA-parallel
+    /// launch, or `None` if this runtime's state cannot be merged (the
+    /// device then falls back to running shards sequentially, which is
+    /// always correct). The default is `None`: order-dependent runtimes
+    /// stay sequential unless they opt in.
+    fn fork_shard(&self) -> Option<RuntimeShard> {
+        None
+    }
 }
 
 /// A runtime with no handlers: traps are ignored at zero cost.
@@ -231,6 +253,13 @@ pub struct NoHandlers;
 impl HandlerRuntime for NoHandlers {
     fn handle(&mut self, _id: u32, _ctx: &mut TrapCtx<'_>) -> HandlerCost {
         HandlerCost::FREE
+    }
+
+    fn fork_shard(&self) -> Option<RuntimeShard> {
+        Some(RuntimeShard {
+            runtime: Box::new(NoHandlers),
+            join: Box::new(|| {}),
+        })
     }
 }
 

@@ -111,6 +111,45 @@ impl Warp {
         w
     }
 
+    /// Reinitializes a retired warp in place for a new block, reusing
+    /// the register-file and local-slab allocations (the capacities are
+    /// kept; contents are zeroed as `new` would).
+    pub fn reset(
+        &mut self,
+        cta: usize,
+        warp_in_cta: u32,
+        entry: u32,
+        existing: LaneMask,
+        regs_per_thread: u32,
+        local_bytes: u32,
+    ) {
+        self.cta = cta;
+        self.warp_in_cta = warp_in_cta;
+        self.pc = entry;
+        self.active = existing;
+        self.existing = existing;
+        self.exited = 0;
+        self.stack.clear();
+        self.call_stack.clear();
+        self.ready_at = 0;
+        self.status = WarpStatus::Ready;
+        if self.regs_per_thread != regs_per_thread {
+            self.regs_per_thread = regs_per_thread;
+            self.regs.resize(32 * regs_per_thread as usize, 0);
+        }
+        if self.local_bytes != local_bytes {
+            self.local_bytes = local_bytes;
+            self.local.resize(32 * local_bytes as usize, 0);
+        }
+        self.regs.fill(0);
+        self.local.fill(0);
+        self.preds = [0; 32];
+        self.cc = [false; 32];
+        for lane in 0..32 {
+            self.set_reg(lane, Gpr::SP, local_bytes);
+        }
+    }
+
     /// Registers provisioned per thread.
     pub fn regs_per_thread(&self) -> u32 {
         self.regs_per_thread
@@ -404,6 +443,46 @@ mod tests {
         assert_eq!(w.leader(), Some(5));
         w.active = 0;
         assert_eq!(w.leader(), None);
+    }
+
+    #[test]
+    fn reset_matches_fresh_warp() {
+        let mut used = Warp::new(0, 0, 0, 0xffff_ffff, 32, 256);
+        used.set_reg(3, Gpr::new(7), 0xdead);
+        used.set_pred(3, PredReg::new(2), true);
+        used.cc[5] = true;
+        used.lane_local_mut(1)[10] = 0x55;
+        used.push_ssy(40);
+        used.call_stack.push(9);
+        used.exit_lanes(0xffff_ffff);
+        assert_eq!(used.status, WarpStatus::Done);
+
+        used.reset(2, 1, 17, 0x0000_00ff, 32, 256);
+        let fresh = Warp::new(2, 1, 17, 0x0000_00ff, 32, 256);
+        assert_eq!(used.cta, fresh.cta);
+        assert_eq!(used.warp_in_cta, fresh.warp_in_cta);
+        assert_eq!(used.pc, fresh.pc);
+        assert_eq!(used.active, fresh.active);
+        assert_eq!(used.existing, fresh.existing);
+        assert_eq!(used.exited, fresh.exited);
+        assert_eq!(used.stack, fresh.stack);
+        assert_eq!(used.call_stack, fresh.call_stack);
+        assert_eq!(used.status, fresh.status);
+        assert_eq!(used.regs, fresh.regs);
+        assert_eq!(used.preds, fresh.preds);
+        assert_eq!(used.cc, fresh.cc);
+        assert_eq!(used.local, fresh.local);
+    }
+
+    #[test]
+    fn reset_reprovisions_on_geometry_change() {
+        let mut w = Warp::new(0, 0, 0, 1, 16, 64);
+        w.reset(0, 0, 0, 1, 48, 512);
+        assert_eq!(w.regs_per_thread(), 48);
+        assert_eq!(w.local_bytes(), 512);
+        assert_eq!(w.regs.len(), 32 * 48);
+        assert_eq!(w.local.len(), 32 * 512);
+        assert_eq!(w.reg(0, Gpr::SP), 512);
     }
 
     #[test]

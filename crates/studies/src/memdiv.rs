@@ -8,8 +8,10 @@
 //! unique lines).
 
 use parking_lot::Mutex;
-use sassi::{Handler, HandlerCost, InfoFlags, MemoryDomain, Sassi, SiteCtx, SiteFilter};
-use sassi_workloads::{execute, Workload};
+use sassi::{
+    Handler, HandlerCost, HandlerShard, InfoFlags, MemoryDomain, Sassi, SiteCtx, SiteFilter,
+};
+use sassi_workloads::{execute_with_jobs, Workload};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -32,6 +34,16 @@ impl Default for MemDivState {
 }
 
 impl MemDivState {
+    /// Folds another accumulator into this one (element-wise sum of
+    /// the 32×32 matrix — commutative, so shard order is irrelevant).
+    pub fn merge(&mut self, other: &MemDivState) {
+        for (row, orow) in self.counters.iter_mut().zip(&other.counters) {
+            for (cell, ocell) in row.iter_mut().zip(orow) {
+                *cell += ocell;
+            }
+        }
+    }
+
     /// The Figure 7 PMF: fraction of *thread-level* accesses issued
     /// from warps touching `n+1` unique lines (index `n`).
     pub fn pmf(&self) -> [f64; 32] {
@@ -124,6 +136,16 @@ impl Handler for MemDivHandler {
             atomics: 1,
         }
     }
+
+    fn fork(&self) -> Option<HandlerShard> {
+        let shard = Arc::new(Mutex::new(MemDivState::default()));
+        let parent = self.state.clone();
+        let child = shard.clone();
+        Some(HandlerShard {
+            handler: Box::new(MemDivHandler { state: child }),
+            join: Box::new(move || parent.lock().merge(&shard.lock())),
+        })
+    }
 }
 
 /// The study result for one workload.
@@ -152,9 +174,15 @@ pub fn instrumentor(state: Arc<Mutex<MemDivState>>) -> Sassi {
 
 /// Runs Case Study II on one workload.
 pub fn run(w: &dyn Workload) -> MemDivStudy {
+    run_with_jobs(w, 1)
+}
+
+/// Runs Case Study II with `cta_jobs` inner worker threads per launch.
+/// Results are byte-identical for any job count.
+pub fn run_with_jobs(w: &dyn Workload, cta_jobs: usize) -> MemDivStudy {
     let state = Arc::new(Mutex::new(MemDivState::default()));
     let mut sassi = instrumentor(state.clone());
-    let report = execute(w, Some(&mut sassi), None);
+    let report = execute_with_jobs(w, Some(&mut sassi), None, cta_jobs);
     assert!(
         report.output.is_ok(),
         "{}: {:?}",

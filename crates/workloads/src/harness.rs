@@ -121,8 +121,20 @@ impl ExecutionReport {
 /// error-injection study for hang detection).
 pub fn execute(
     w: &dyn Workload,
+    sassi: Option<&mut Sassi>,
+    watchdog: Option<u64>,
+) -> ExecutionReport {
+    execute_with_jobs(w, sassi, watchdog, 1)
+}
+
+/// As [`execute`], with `cta_jobs` worker threads executing the CTA
+/// shards of each launch. Results are byte-identical for any job count
+/// (the device merges shard results in canonical order).
+pub fn execute_with_jobs(
+    w: &dyn Workload,
     mut sassi: Option<&mut Sassi>,
     watchdog: Option<u64>,
+    cta_jobs: usize,
 ) -> ExecutionReport {
     let mut mb = ModuleBuilder::new();
     for k in w.kernels() {
@@ -144,6 +156,7 @@ pub fn execute(
         }
     };
     let mut rt = Runtime::new(Device::with_defaults());
+    rt.device.cta_jobs = cta_jobs.max(1);
     if let Some(wd) = watchdog {
         rt.watchdog_cycles = wd;
     }

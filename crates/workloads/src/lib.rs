@@ -26,7 +26,10 @@ pub mod rodinia;
 
 mod registry;
 
-pub use harness::{execute, verify_golden, ExecutionReport, RunFailure, Workload, WorkloadOutput};
+pub use harness::{
+    execute, execute_with_jobs, verify_golden, ExecutionReport, RunFailure, Workload,
+    WorkloadOutput,
+};
 pub use registry::{
     all_workloads, by_name, fig10_set, fig7_set, table1_set, table2_set, table3_set,
 };
