@@ -1,9 +1,12 @@
 //! Criterion benchmark: end-to-end cost of running an instrumented
 //! kernel relative to its baseline — the per-configuration slope behind
-//! Table 3.
+//! Table 3 — plus steady-state trap dispatch across the four parameter
+//! combinations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sassi::{FnHandler, InfoFlags, Sassi, SiteFilter};
+use sassi::{FnHandler, InfoFlags, Sassi, SiteCtx, SiteFilter};
+use sassi_kir::{Compiler, KernelBuilder};
+use sassi_sim::{Device, LaunchDims, Module};
 use sassi_workloads::{by_name, execute};
 
 fn bench_instrumentation(c: &mut Criterion) {
@@ -55,5 +58,127 @@ fn bench_instrumentation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_instrumentation);
+/// Branches, global memory and register writes in one straight kernel,
+/// so every site filter below finds work.
+fn mixed_kernel() -> sassi_isa::Function {
+    let mut b = KernelBuilder::kernel("mixed");
+    let i = b.global_tid_x();
+    let n = b.param_u32(0);
+    let src = b.param_ptr(1);
+    let dst = b.param_ptr(2);
+    let p = b.setp_u32_lt(i, n);
+    b.if_(p, |b| {
+        let es = b.lea(src, i, 2);
+        let v = b.ld_global_u32(es);
+        let small = b.setp_u32_lt(v, 100u32);
+        let tripled = b.imul(v, 3u32);
+        let shifted = b.isub(v, 100u32);
+        let r = b.sel(small, tripled, shifted);
+        let ed = b.lea(dst, i, 2);
+        b.st_global_u32(ed, r);
+    });
+    Compiler::new().compile(&b.finish()).unwrap()
+}
+
+/// Steady-state trap dispatch: one persistent device and pre-linked
+/// instrumented module, relaunched per iteration so decode, site
+/// binding, warp pools and handler scratch are all warm — the
+/// measurement isolates the trampoline + dispatch + handler path that
+/// the allocation-free fast path optimizes.
+fn bench_trap_dispatch(c: &mut Criterion) {
+    type HandlerBody = fn(&mut SiteCtx<'_, '_>);
+    let combos: [(&str, SiteFilter, InfoFlags, bool, HandlerBody); 4] = [
+        (
+            "branch",
+            SiteFilter::COND_BRANCHES,
+            InfoFlags::COND_BRANCH,
+            false,
+            |ctx| {
+                let taken = ctx.ballot(|l| {
+                    ctx.branch_params(l)
+                        .expect("branch info")
+                        .direction(ctx.trap)
+                });
+                std::hint::black_box(taken);
+            },
+        ),
+        (
+            "memory",
+            SiteFilter::MEMORY,
+            InfoFlags::MEMORY,
+            false,
+            |ctx| {
+                let mut lines = 0u64;
+                for lane in ctx.active_lanes() {
+                    let mp = ctx.memory_params(lane).expect("memory info");
+                    lines ^= mp.address(ctx.trap) >> 5;
+                }
+                std::hint::black_box(lines);
+            },
+        ),
+        (
+            "register",
+            SiteFilter::REG_WRITES,
+            InfoFlags::REGISTERS,
+            true,
+            |ctx| {
+                let mut acc = 0u32;
+                if let Some(leader) = ctx.leader() {
+                    let rp = ctx.register_params(leader).expect("register info");
+                    for d in 0..rp.num_dsts(ctx.trap) {
+                        for lane in ctx.active_lanes() {
+                            acc &=
+                                sassi::RegisterParamsView::new(ctx.trap, lane).value(ctx.trap, d);
+                        }
+                    }
+                }
+                std::hint::black_box(acc);
+            },
+        ),
+        ("generic", SiteFilter::ALL, InfoFlags::NONE, false, |ctx| {
+            std::hint::black_box(ctx.active_lanes().len());
+        }),
+    ];
+
+    let mut g = c.benchmark_group("trap_dispatch");
+    g.sample_size(20);
+    for (label, filter, what, after, body) in combos {
+        let mut sassi = Sassi::new();
+        if after {
+            sassi.on_after(filter, what, Box::new(FnHandler::free(body)));
+        } else {
+            sassi.on_before(filter, what, Box::new(FnHandler::free(body)));
+        }
+
+        let mut dev = Device::with_defaults();
+        let n = 512u32;
+        let src = dev.mem.alloc(4 * n as u64, 4).unwrap();
+        let dst = dev.mem.alloc(4 * n as u64, 4).unwrap();
+        for k in 0..n {
+            dev.mem.write_u32(src + 4 * k as u64, k * 7 % 250).unwrap();
+        }
+        let module = Module::link(&[sassi.apply(&mixed_kernel(), 0)]).unwrap();
+        let params = [n as u64, src, dst];
+        let dims = LaunchDims::linear(16, 32);
+        // Warm decode cache, site binding and the warp pool.
+        let warm = dev
+            .launch(&module, "mixed", dims, &params, &mut sassi, 0, 50_000_000)
+            .unwrap();
+        assert!(warm.is_ok());
+        assert!(warm.stats.handler_calls > 0, "{label}: no traps fired");
+
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                let res = dev
+                    .launch(&module, "mixed", dims, &params, &mut sassi, 0, 50_000_000)
+                    .unwrap();
+                assert!(res.is_ok());
+                res.stats.handler_calls
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_instrumentation, bench_trap_dispatch);
 criterion_main!(benches);

@@ -261,6 +261,7 @@ fn hotloop(jobs: usize) {
         ("decoded", &report.decoded),
         ("parallel", &report.parallel),
         ("reference", &report.reference),
+        ("instrumented", &report.instrumented),
     ] {
         println!(
             "  {label:<10} {:>7.2} s busy ({:>6.2} s wall) — {:.0} warp instrs/s",
@@ -271,6 +272,10 @@ fn hotloop(jobs: usize) {
     println!(
         "  parallel speedup: {:.2}x (decoded serial wall / CTA-parallel wall, {} shard workers)",
         report.parallel_speedup, report.jobs
+    );
+    println!(
+        "  instrumented overhead: {:.2}x wall vs native decoded (branch study, {} handler calls)",
+        report.instrumented_overhead, report.handler_calls
     );
     let i = &report.issue;
     let total = (i.memory + i.control + i.numeric + i.misc).max(1);

@@ -6,9 +6,11 @@
 //! against (`results/timings/sim_hot_loop.json`).
 
 use crate::exec::{run_units, WorkloadCache};
+use parking_lot::Mutex;
 use sassi_rt::{ModuleBuilder, Runtime};
 use sassi_sim::{ExecMode, IssueCounters, NoHandlers};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// The workloads the hot-loop comparison executes: convergent compute
 /// (`sgemm`), divergent graph traversal (`bfs`), scattered memory
@@ -56,6 +58,18 @@ pub struct HotLoopReport {
     /// The seed-semantics interpreter, serial launches
     /// (`ExecMode::Reference`).
     pub reference: ModeRun,
+    /// The decoded interpreter running the same workloads under the
+    /// paper's branch study (Case Study I): every conditional branch
+    /// trampolines into the handler. Serial launches, so the wall time
+    /// compares directly against `decoded`. The instruction counts
+    /// include the trampoline SASS the instrumentor injected.
+    pub instrumented: ModeRun,
+    /// Warp-level handler invocations across the instrumented sweep.
+    pub handler_calls: u64,
+    /// instrumented wall time / decoded (native) wall time — the
+    /// end-to-end slowdown of branch instrumentation, the analogue of
+    /// the paper's Table 4 `cfg` row.
+    pub instrumented_overhead: f64,
     /// reference busy time / decoded busy time (interpreter speedup).
     pub speedup: f64,
     /// decoded serial wall time / parallel wall time: how much faster
@@ -116,8 +130,54 @@ fn sweep(mode: ExecMode, jobs: usize, cta_jobs: usize) -> (ModeRun, IssueCounter
     (run, issue)
 }
 
+/// The branch-study sweep: decoded interpreter, serial launches, every
+/// conditional branch instrumented. Returns the run plus the total
+/// warp-level handler invocations.
+fn instrumented_sweep() -> (ModeRun, u64) {
+    let (per_unit, timing) = run_units(1, HOTLOOP_SET, WorkloadCache::default, |cache, name, _| {
+        let w = cache.get(name);
+        let state = Arc::new(Mutex::new(sassi_studies::branch::BranchState::default()));
+        let mut sassi = sassi_studies::branch::instrumentor(state);
+        let mut mb = ModuleBuilder::new();
+        for k in w.kernels() {
+            mb.add_kernel(k);
+        }
+        let module = mb.build(Some(&sassi)).expect("build");
+        let mut rt = Runtime::with_defaults();
+        rt.device.exec_mode = ExecMode::Decoded;
+        let out = w.execute(&mut rt, &module, &mut sassi);
+        assert!(out.is_ok(), "{name}: {:?}", out.err());
+        let (mut wi, mut ti, mut hc) = (0u64, 0u64, 0u64);
+        for r in rt.records() {
+            wi += r.result.stats.warp_instrs;
+            ti += r.result.stats.thread_instrs;
+            hc += r.result.stats.handler_calls;
+        }
+        (wi, ti, hc)
+    });
+    let (mut wi, mut ti, mut hc) = (0u64, 0u64, 0u64);
+    for (w, t, h) in &per_unit {
+        wi += w;
+        ti += t;
+        hc += h;
+    }
+    let run = ModeRun {
+        wall_s: timing.wall_s,
+        busy_s: timing.busy_s,
+        warp_instrs: wi,
+        thread_instrs: ti,
+        instrs_per_s: if timing.busy_s > 0.0 {
+            wi as f64 / timing.busy_s
+        } else {
+            0.0
+        },
+    };
+    (run, hc)
+}
+
 /// Runs the comparison (decoded serial, decoded CTA-parallel, then
-/// reference serial) and returns the report. Workloads always run one
+/// reference serial, then the branch-instrumented serial sweep) and
+/// returns the report. Workloads always run one
 /// at a time — `jobs` buys CTA-shard workers in the parallel sweep
 /// only — so the sweeps' wall times are directly comparable instead of
 /// confounded by outer-level scheduling. The issue-class breakdown and
@@ -128,6 +188,11 @@ pub fn compare(jobs: usize) -> HotLoopReport {
     let (decoded, issue_d) = sweep(ExecMode::Decoded, 1, 1);
     let (parallel, issue_p) = sweep(ExecMode::Decoded, 1, jobs);
     let (reference, issue_r) = sweep(ExecMode::Reference, 1, 1);
+    let (instrumented, handler_calls) = instrumented_sweep();
+    assert!(handler_calls > 0, "branch sweep fired no handler calls");
+    // Trampolines add instructions, so the instrumented sweep is only
+    // sanity-checked for more work than native, not exact equality.
+    assert!(instrumented.warp_instrs > decoded.warp_instrs);
     assert_eq!(
         issue_d, issue_p,
         "issue-class counters diverge between serial and CTA-parallel runs"
@@ -153,9 +218,16 @@ pub fn compare(jobs: usize) -> HotLoopReport {
         } else {
             1.0
         },
+        instrumented_overhead: if decoded.wall_s > 0.0 {
+            instrumented.wall_s / decoded.wall_s
+        } else {
+            1.0
+        },
         decoded,
         parallel,
         reference,
+        instrumented,
+        handler_calls,
         issue: issue_d,
     }
 }

@@ -64,6 +64,28 @@ fn branch_sweep_is_identical_across_job_counts() {
 }
 
 #[test]
+fn instrumented_smoke_matches_serial_under_env_jobs() {
+    // The CI instrumented-smoke gate: one branch-study launch driven at
+    // whatever `SASSI_JOBS` the matrix leg sets (1 and 4 in CI), with
+    // the serialized study output asserted byte-identical to the serial
+    // run. Locally, with `SASSI_JOBS` unset, this still exercises the
+    // machine's available parallelism against the serial baseline.
+    let jobs = sassi_bench::exec::default_jobs();
+    let w = by_name("nn").expect("workload");
+    let serial = branch::run_with_jobs(w.as_ref(), 1);
+    let under_env = branch::run_with_jobs(w.as_ref(), jobs);
+    assert!(
+        serial.row.dynamic_total > 0,
+        "smoke launch must execute branches"
+    );
+    assert_eq!(
+        json(&serial.row),
+        json(&under_env.row),
+        "branch study output diverges between cta_jobs=1 and cta_jobs={jobs}"
+    );
+}
+
+#[test]
 fn instrumented_studies_are_identical_across_inner_job_counts() {
     // The tentpole guarantee at the study level: running the CTA shards
     // of every launch on 4 workers must leave each handler's merged

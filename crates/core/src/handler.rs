@@ -12,6 +12,7 @@
 use crate::params::{BeforeParamsView, CondBranchParamsView, MemoryParamsView, RegisterParamsView};
 use crate::spec::{InfoFlags, InstPoint};
 use parking_lot::Mutex;
+use sassi_isa::Lanes;
 use sassi_sim::{HandlerCost, TrapCtx};
 use std::sync::Arc;
 
@@ -33,9 +34,15 @@ impl<'c> SiteCtx<'_, 'c> {
         self.trap.active_mask()
     }
 
-    /// Active lane indices.
-    pub fn active_lanes(&self) -> Vec<usize> {
+    /// Active lane indices: a copyable, allocation-free mask iterator
+    /// in ascending lane order.
+    pub fn active_lanes(&self) -> Lanes {
         self.trap.active_lanes()
+    }
+
+    /// Calls `f` for each active lane in ascending order.
+    pub fn for_each_active(&self, f: impl FnMut(usize)) {
+        self.trap.for_each_active(f)
     }
 
     /// The first active lane — the leader the paper's handlers elect
@@ -44,10 +51,13 @@ impl<'c> SiteCtx<'_, 'c> {
         self.trap.leader()
     }
 
-    /// `__ballot(f(lane))` over the active lanes.
+    /// `__ballot(f(lane))` over the active lanes (allocation-free).
     pub fn ballot(&self, mut f: impl FnMut(usize) -> bool) -> u32 {
         let mut m = 0u32;
-        for lane in self.trap.active_lanes() {
+        let mut active = self.trap.active_mask();
+        while active != 0 {
+            let lane = active.trailing_zeros() as usize;
+            active &= active - 1;
             if f(lane) {
                 m |= 1 << lane;
             }
@@ -131,6 +141,36 @@ impl<H: Handler> Handler for Arc<Mutex<H>> {
 
     fn fork(&self) -> Option<HandlerShard> {
         self.lock().fork()
+    }
+}
+
+/// Reusable per-trap scratch buffers for handlers.
+///
+/// The contract: a handler owns one `Scratch`, calls
+/// [`Scratch::reset`] at the top of `handle`, and uses the buffers for
+/// the duration of that single trap. Buffer *capacity* persists across
+/// traps, so steady-state handler execution performs no heap
+/// allocation; buffer *contents* do not survive a trap — state a
+/// handler accumulates across traps belongs in its study state (the
+/// part that merges on shard join). [`Handler::fork`] gives each CTA
+/// shard a fresh `Scratch` (`Default`), never a shared one.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Lane indices.
+    pub lanes: Vec<usize>,
+    /// 64-bit values (addresses, register pairs).
+    pub words: Vec<u64>,
+    /// 32-bit values.
+    pub vals: Vec<u32>,
+}
+
+impl Scratch {
+    /// Empties every buffer, keeping capacity. Call at the top of
+    /// `handle`.
+    pub fn reset(&mut self) {
+        self.lanes.clear();
+        self.words.clear();
+        self.vals.clear();
     }
 }
 

@@ -71,7 +71,7 @@ mod sassi;
 mod spec;
 mod trampoline;
 
-pub use handler::{FnHandler, Handler, HandlerShard, SiteCtx};
+pub use handler::{FnHandler, Handler, HandlerShard, Scratch, SiteCtx};
 pub use params::{
     layout, BeforeParamsView, CondBranchParamsView, MemoryDomain, MemoryParamsView,
     RegisterParamsView,
@@ -81,4 +81,4 @@ pub use sassi::Sassi;
 pub use spec::{HandlerRef, InfoFlags, InstPoint, InstrumentSpec, SiteFilter, SpillPolicy};
 
 // Re-exported for handler authors.
-pub use sassi_sim::{HandlerCost, TrapCtx};
+pub use sassi_sim::{HandlerCost, TrapCtx, TrapRef, TrapSite};

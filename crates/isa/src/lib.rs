@@ -77,3 +77,65 @@ pub type LaneMask = u32;
 
 /// Mask with all 32 lanes active.
 pub const FULL_MASK: LaneMask = u32::MAX;
+
+/// Iterator over the set lanes of a [`LaneMask`], in ascending lane
+/// order. `Copy`, allocation-free, and exact-sized (`len()` is the
+/// mask's popcount), so it can replace `Vec<usize>` lane lists in hot
+/// paths without changing iteration order.
+#[derive(Clone, Copy, Debug)]
+pub struct Lanes(LaneMask);
+
+impl Iterator for Lanes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let lane = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(lane)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Lanes {}
+impl std::iter::FusedIterator for Lanes {}
+
+/// Iterates the set lanes of `mask` in ascending order.
+#[inline]
+pub fn lanes(mask: LaneMask) -> Lanes {
+    Lanes(mask)
+}
+
+#[cfg(test)]
+mod lane_tests {
+    use super::*;
+
+    #[test]
+    fn lanes_match_filter_iteration() {
+        for mask in [0u32, 1, 0x8000_0000, 0xDEAD_BEEF, FULL_MASK] {
+            let via_mask: Vec<usize> = lanes(mask).collect();
+            let via_filter: Vec<usize> = (0..WARP_SIZE).filter(|l| mask & (1 << l) != 0).collect();
+            assert_eq!(via_mask, via_filter, "mask {mask:#x}");
+            assert_eq!(lanes(mask).len(), mask.count_ones() as usize);
+        }
+    }
+
+    #[test]
+    fn lanes_is_fused_and_copy() {
+        let mut it = lanes(0b101);
+        let copy = it;
+        assert_eq!(it.next(), Some(0));
+        assert_eq!(it.next(), Some(2));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
+        assert_eq!(copy.count(), 2);
+    }
+}

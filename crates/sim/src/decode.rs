@@ -138,8 +138,11 @@ pub enum UOp {
     },
     /// `JCAL` into a native instrumentation handler (a SASSI trap
     /// site; these are the bits set in the module's trap bitmap).
+    /// `site` indexes the module's decode-time site table
+    /// ([`DecodedModule::sites`]), assigned in pc order.
     Trap {
         handler: u32,
+        site: u32,
     },
     Ret,
     BarSync,
@@ -359,14 +362,36 @@ impl DecodedInstr {
     }
 }
 
-/// The pre-decoded form of a linked module: the flat µop array and the
-/// trap-site bitmap.
+/// One instrumentation trap site, resolved once at decode time.
+///
+/// Site indices are assigned in ascending pc order, so `sites[i].pc`
+/// is sorted — [`DecodedModule::site_at`] binary-searches it. Handler
+/// runtimes receive this table via `HandlerRuntime::bind_sites` before
+/// a launch issues any trap, letting them pre-resolve per-site dispatch
+/// state instead of re-deriving it on every trap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrapSite {
+    /// The absolute pc of the `JCAL handlerN` µop.
+    pub pc: u32,
+    /// The native handler id the site calls.
+    pub handler: u32,
+    /// Cached trampoline save/restore cost: the spill-flagged GPR
+    /// stores before the call plus the spill-flagged loads after it,
+    /// bounded by the trampoline's own stack push/pop so surrounding
+    /// program spills are not miscounted. Hand-written `JCAL handlerN`
+    /// sites without an enclosing trampoline frame count 0.
+    pub save_restore: u32,
+}
+
+/// The pre-decoded form of a linked module: the flat µop array, the
+/// trap-site bitmap and the resolved trap-site table.
 #[derive(Clone, Debug)]
 pub struct DecodedModule {
     code: Vec<DecodedInstr>,
     /// Bit `pc` set iff `code[pc]` traps into a native handler.
     trap_bits: Vec<u64>,
-    trap_count: u32,
+    /// Trap sites in ascending pc order; `UOp::Trap::site` indexes this.
+    sites: Vec<TrapSite>,
     /// Whether any global/generic atomic *consumes* its old value
     /// (`ATOM` with a live destination, or any CAS/EXCH). See
     /// [`DecodedModule::has_consuming_global_atomics`].
@@ -381,13 +406,18 @@ impl DecodedModule {
         let n = module.code.len();
         let mut code = Vec::with_capacity(n);
         let mut trap_bits = vec![0u64; n.div_ceil(64)];
-        let mut trap_count = 0u32;
+        let mut sites = Vec::new();
         let mut consuming_global_atomics = false;
         for (pc, ins) in module.code.iter().enumerate() {
-            let di = decode_instr(ins, n as u32);
-            if matches!(di.uop, UOp::Trap { .. }) {
+            let mut di = decode_instr(ins, n as u32);
+            if let UOp::Trap { handler, site } = &mut di.uop {
+                *site = sites.len() as u32;
+                sites.push(TrapSite {
+                    pc: pc as u32,
+                    handler: *handler,
+                    save_restore: save_restore_at(&module.code, pc),
+                });
                 trap_bits[pc / 64] |= 1 << (pc % 64);
-                trap_count += 1;
             }
             if let UOp::Atom { d, op, addr, .. } = di.uop {
                 let global = matches!(addr.space, AddrSpace::Global | AddrSpace::Generic);
@@ -400,7 +430,7 @@ impl DecodedModule {
         DecodedModule {
             code,
             trap_bits,
-            trap_count,
+            sites,
             consuming_global_atomics,
         }
     }
@@ -441,7 +471,23 @@ impl DecodedModule {
 
     /// Total instrumentation trap sites in the module.
     pub fn trap_count(&self) -> u32 {
-        self.trap_count
+        self.sites.len() as u32
+    }
+
+    /// The decode-time trap-site table, in ascending pc order.
+    /// `UOp::Trap::site` indexes this table directly.
+    pub fn sites(&self) -> &[TrapSite] {
+        &self.sites
+    }
+
+    /// The site index of the trap at `pc`, if any — the lookup the
+    /// reference interpreter uses (the decoded loop carries the index
+    /// inside the µop instead).
+    pub fn site_at(&self, pc: u32) -> Option<u32> {
+        self.sites
+            .binary_search_by_key(&pc, |s| s.pc)
+            .ok()
+            .map(|i| i as u32)
     }
 
     /// Trap sites within `[entry, end)` — pass a `LinkedFunction`'s
@@ -457,6 +503,50 @@ impl DecodedModule {
         }
         count
     }
+}
+
+/// Counts the trampoline save/restore instructions around the trap at
+/// `pc`: spill-flagged stores between the trampoline's stack push
+/// (`IADD SP, SP, -frame`) and the call, plus spill-flagged loads
+/// between the call and the stack pop. Scans are bounded by the
+/// enclosing push/pop (and by any other call), so register-allocator
+/// spills elsewhere in the function are never attributed to the site;
+/// a `JCAL handlerN` with no enclosing frame counts 0.
+fn save_restore_at(code: &[Instr], pc: usize) -> u32 {
+    let sp_adjust = |op: &Op, downward: bool| {
+        matches!(op, Op::IAdd { d, a, b: Src::Imm(v), .. }
+            if *d == Gpr::SP && *a == Gpr::SP && ((*v as i32) < 0) == downward)
+    };
+    let mut saves = 0u32;
+    let mut pushed = false;
+    for ins in code[..pc].iter().rev() {
+        if sp_adjust(&ins.op, true) {
+            pushed = true;
+            break;
+        }
+        if matches!(ins.op, Op::Jcal { .. }) {
+            break;
+        }
+        if matches!(ins.op, Op::St { spill: true, .. }) {
+            saves += 1;
+        }
+    }
+    if !pushed {
+        return 0;
+    }
+    let mut fills = 0u32;
+    for ins in &code[pc + 1..] {
+        if sp_adjust(&ins.op, false) {
+            return saves + fills;
+        }
+        if matches!(ins.op, Op::Jcal { .. }) {
+            break;
+        }
+        if matches!(ins.op, Op::Ld { spill: true, .. }) {
+            fills += 1;
+        }
+    }
+    0
 }
 
 /// Lowers a branch-style target: `code_len` is the exclusive upper
@@ -486,7 +576,12 @@ fn decode_instr(ins: &Instr, code_len: u32) -> DecodedInstr {
             // Calls are not range-checked (seed parity): an
             // out-of-range callee faults on its first fetch.
             Label::Pc(t) => UOp::Call { target: *t },
-            Label::Handler(h) => UOp::Trap { handler: *h },
+            // The site index is assigned by the decode loop, which
+            // knows the module-wide site ordinal.
+            Label::Handler(h) => UOp::Trap {
+                handler: *h,
+                site: u32::MAX,
+            },
             Label::Func(_) => UOp::Invalid(DecodedFault::UnlinkedCall),
         },
         Op::Ret => UOp::Ret,

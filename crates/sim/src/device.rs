@@ -34,7 +34,7 @@ use crate::config::{GpuConfig, LaunchDims};
 use crate::decode::{DSrc, DecodedModule, UOp, GUARD_ALWAYS};
 use crate::module::{LinkedFunction, Module};
 use crate::stats::{FaultInfo, FaultKind, KernelOutcome, LaunchResult, LaunchStats};
-use crate::trap::{HandlerRuntime, TrapCtx};
+use crate::trap::{HandlerRuntime, TrapCtx, TrapRef};
 use crate::warp::{Warp, WarpStatus};
 use sassi_isa::{
     cbank0, resolve_generic, AddrSpace, AtomOp, Gpr, LaneMask, LogicOp, MemAddr, MemWidth, PredReg,
@@ -224,6 +224,10 @@ impl Device {
             .map(|s| (s..total).step_by(num_shards).collect())
             .collect();
         let decoded = module.decoded();
+        // Let the runtime pre-resolve per-site dispatch state once per
+        // launch, before any trap fires (forked shard runtimes are
+        // bound below, after forking).
+        runtime.bind_sites(decoded.sites());
         let env = ShardEnv {
             cfg: &self.cfg,
             module,
@@ -259,7 +263,9 @@ impl Device {
                 let mut runtimes: Vec<Box<dyn HandlerRuntime + Send>> =
                     Vec::with_capacity(num_shards);
                 for f in forks {
-                    runtimes.push(f.runtime);
+                    let mut rt = f.runtime;
+                    rt.bind_sites(decoded.sites());
+                    runtimes.push(rt);
                     joins.push(Some(f.join));
                 }
                 let mems: Vec<DeviceMemory> = (0..num_shards).map(|_| self.mem.fork()).collect();
@@ -396,6 +402,7 @@ fn run_shard(
         cycle: 0,
         stats: LaunchStats::default(),
         warp_allocs: 0,
+        retire_pending: false,
     };
     let outcome = exec.run(env.max_cycles);
     let mut stats = exec.stats;
@@ -470,6 +477,11 @@ struct Exec<'a> {
     cycle: u64,
     stats: LaunchStats,
     warp_allocs: u64,
+    /// Whether some listed warp went `Done` since the last retire
+    /// scan. Warps only finish during their own step, so `pick` can
+    /// skip the scan entirely on the (vastly more common) cycles where
+    /// nothing retired.
+    retire_pending: bool,
 }
 
 impl Exec<'_> {
@@ -579,6 +591,9 @@ impl Exec<'_> {
                             sm: self.sm_id,
                         });
                     }
+                    if self.warps[wi].status == WarpStatus::Done {
+                        self.retire_pending = true;
+                    }
                     self.cycle += 1;
                 }
                 Pick::Stalled(until) => {
@@ -595,39 +610,55 @@ impl Exec<'_> {
     }
 
     fn pick(&mut self) -> Pick {
-        // Retire finished warps lazily and pick round-robin.
-        let mut i = 0;
-        while i < self.list.len() {
-            let wi = self.list[i];
-            if self.warps[wi].status == WarpStatus::Done {
-                // Unlist the warp and recycle its context (registers
-                // and local slab are zeroed on reuse, not freed).
-                self.list.swap_remove(i);
-                self.free_warps.push(wi);
-                let cta = self.warps[wi].cta;
-                self.ctas[cta].warps_done += 1;
-                self.maybe_release_barrier(cta);
-                if self.ctas[cta].warps_done == self.ctas[cta].warps_total {
-                    self.free_ctas.push(cta);
-                    self.issue_block();
+        // Retire finished warps lazily — only on cycles where a warp
+        // actually went `Done` (`retire_pending`), so the common path
+        // skips straight to warp selection.
+        if self.retire_pending {
+            self.retire_pending = false;
+            let mut i = 0;
+            while i < self.list.len() {
+                let wi = self.list[i];
+                if self.warps[wi].status == WarpStatus::Done {
+                    // Unlist the warp and recycle its context (registers
+                    // and local slab are zeroed on reuse, not freed).
+                    self.list.swap_remove(i);
+                    self.free_warps.push(wi);
+                    let cta = self.warps[wi].cta;
+                    self.ctas[cta].warps_done += 1;
+                    self.maybe_release_barrier(cta);
+                    if self.ctas[cta].warps_done == self.ctas[cta].warps_total {
+                        self.free_ctas.push(cta);
+                        self.issue_block();
+                    }
+                    continue;
                 }
-                continue;
+                i += 1;
             }
-            i += 1;
         }
         if self.list.is_empty() {
             return Pick::Empty;
         }
+        // Round-robin from `rr`: two linear passes (wrap once) instead
+        // of a modulo per candidate. Visit order is identical.
         let n = self.list.len();
         let start = self.rr % n;
         let mut min_ready = u64::MAX;
-        for k in 0..n {
-            let wi = self.list[(start + k) % n];
-            let w = &self.warps[wi];
+        for k in start..n {
+            let w = &self.warps[self.list[k]];
             if w.status == WarpStatus::Ready {
                 if w.ready_at <= self.cycle {
-                    self.rr = (start + k + 1) % n;
-                    return Pick::Warp(wi);
+                    self.rr = (k + 1) % n;
+                    return Pick::Warp(self.list[k]);
+                }
+                min_ready = min_ready.min(w.ready_at);
+            }
+        }
+        for k in 0..start {
+            let w = &self.warps[self.list[k]];
+            if w.status == WarpStatus::Ready {
+                if w.ready_at <= self.cycle {
+                    self.rr = k + 1;
+                    return Pick::Warp(self.list[k]);
                 }
                 min_ready = min_ready.min(w.ready_at);
             }
@@ -783,7 +814,7 @@ impl Exec<'_> {
                 finish(w, self.cycle, 4);
                 return Ok(());
             }
-            UOp::Trap { handler } => {
+            UOp::Trap { handler, site } => {
                 self.stats.handler_calls += 1;
                 let cost = {
                     let warp = &mut self.warps[wi];
@@ -800,7 +831,7 @@ impl Exec<'_> {
                         kernel: &self.kernel.name,
                         launch_index: self.launch_index,
                     };
-                    self.runtime.handle(handler, &mut ctx)
+                    self.runtime.handle(TrapRef { site, handler }, &mut ctx)
                 };
                 let cycles = cost.cycles();
                 self.stats.handler_cycles += cycles;
@@ -1354,6 +1385,57 @@ impl Exec<'_> {
         _texture: bool,
     ) -> Result<(), FaultKind> {
         let bytes = width.bytes();
+        // The address space is a static property of the instruction
+        // (only `Generic` resolves per lane), so dispatch on it once
+        // and run a specialized per-lane loop — trampoline spills and
+        // fills (`STL`/`LDL`) live entirely on the `Local` fast path.
+        match addr.space {
+            AddrSpace::Local => {
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let mut buf = [0u8; 16];
+                    {
+                        let w = &self.warps[wi];
+                        let a = w.reg(lane, addr.base).wrapping_add(addr.offset as u32) as u64;
+                        let off = a as usize;
+                        let slab = w.lane_local(lane);
+                        if off + bytes as usize > slab.len() {
+                            return Err(FaultKind::StackViolation { offset: a });
+                        }
+                        buf[..bytes as usize].copy_from_slice(&slab[off..off + bytes as usize]);
+                    }
+                    write_load_result(&mut self.warps[wi], lane, d, width, &buf);
+                }
+                let lat = self.mem_latency(&[], bytes, false, mask != 0, false);
+                finish(&mut self.warps[wi], self.cycle, lat);
+                return Ok(());
+            }
+            AddrSpace::Shared => {
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let mut buf = [0u8; 16];
+                    {
+                        let w = &self.warps[wi];
+                        let a = w.reg(lane, addr.base).wrapping_add(addr.offset as u32) as u64;
+                        let off = a as usize;
+                        let shared = &self.ctas[w.cta].shared;
+                        if off + bytes as usize > shared.len() {
+                            return Err(FaultKind::SharedViolation { offset: a });
+                        }
+                        buf[..bytes as usize].copy_from_slice(&shared[off..off + bytes as usize]);
+                    }
+                    write_load_result(&mut self.warps[wi], lane, d, width, &buf);
+                }
+                let lat = self.mem_latency(&[], bytes, false, false, mask != 0);
+                finish(&mut self.warps[wi], self.cycle, lat);
+                return Ok(());
+            }
+            AddrSpace::Global | AddrSpace::Generic => {}
+        }
         // Lane addresses are collected in lane order into a fixed
         // array: the coalescer is order-sensitive and the hot loop
         // must not allocate.
@@ -1361,10 +1443,10 @@ impl Exec<'_> {
         let mut n_global = 0usize;
         let mut has_local = false;
         let mut has_shared = false;
-        for lane in 0..32usize {
-            if mask & (1 << lane) == 0 {
-                continue;
-            }
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
             let (space, a) = self.lane_addr(&self.warps[wi], lane, addr)?;
             let data: [u8; 16] = match space {
                 AddrSpace::Local => {
@@ -1422,28 +1504,62 @@ impl Exec<'_> {
         addr: &MemAddr,
     ) -> Result<(), FaultKind> {
         let bytes = width.bytes();
+        // Static-space fast paths, as in `mem_load`: trampoline GPR
+        // saves (`STL`) take the `Local` arm.
+        match addr.space {
+            AddrSpace::Local => {
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let mut buf = [0u8; 16];
+                    let w = &mut self.warps[wi];
+                    store_source_bytes(w, lane, v, width, bytes, &mut buf);
+                    let a = w.reg(lane, addr.base).wrapping_add(addr.offset as u32) as u64;
+                    let off = a as usize;
+                    let slab = w.lane_local_mut(lane);
+                    if off + bytes as usize > slab.len() {
+                        return Err(FaultKind::StackViolation { offset: a });
+                    }
+                    slab[off..off + bytes as usize].copy_from_slice(&buf[..bytes as usize]);
+                }
+                let lat = self.mem_latency(&[], bytes, true, mask != 0, false);
+                finish(&mut self.warps[wi], self.cycle, lat);
+                return Ok(());
+            }
+            AddrSpace::Shared => {
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let mut buf = [0u8; 16];
+                    let w = &self.warps[wi];
+                    store_source_bytes(w, lane, v, width, bytes, &mut buf);
+                    let a = w.reg(lane, addr.base).wrapping_add(addr.offset as u32) as u64;
+                    let off = a as usize;
+                    let shared = &mut self.ctas[w.cta].shared;
+                    if off + bytes as usize > shared.len() {
+                        return Err(FaultKind::SharedViolation { offset: a });
+                    }
+                    shared[off..off + bytes as usize].copy_from_slice(&buf[..bytes as usize]);
+                }
+                let lat = self.mem_latency(&[], bytes, true, false, mask != 0);
+                finish(&mut self.warps[wi], self.cycle, lat);
+                return Ok(());
+            }
+            AddrSpace::Global | AddrSpace::Generic => {}
+        }
         let mut global_addrs = [0u64; 32];
         let mut n_global = 0usize;
         let mut has_local = false;
         let mut has_shared = false;
-        for lane in 0..32usize {
-            if mask & (1 << lane) == 0 {
-                continue;
-            }
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
             let (space, a) = self.lane_addr(&self.warps[wi], lane, addr)?;
             let mut buf = [0u8; 16];
-            {
-                let w = &self.warps[wi];
-                for k in 0..width.regs() {
-                    let val = w.reg(lane, Gpr::new(v.index() + k));
-                    buf[4 * k as usize..4 * k as usize + 4].copy_from_slice(&val.to_le_bytes());
-                }
-                // Sub-word stores truncate the low register.
-                if bytes < 4 {
-                    let val = w.reg(lane, v);
-                    buf[..bytes as usize].copy_from_slice(&val.to_le_bytes()[..bytes as usize]);
-                }
-            }
+            store_source_bytes(&self.warps[wi], lane, v, width, bytes, &mut buf);
             match space {
                 AddrSpace::Local => {
                     has_local = true;
@@ -1498,10 +1614,10 @@ impl Exec<'_> {
     ) -> Result<(), FaultKind> {
         let mut global_addrs = [0u64; 32];
         let mut n_global = 0usize;
-        for lane in 0..32usize {
-            if mask & (1 << lane) == 0 {
-                continue;
-            }
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
             let (space, a) = self.lane_addr(&self.warps[wi], lane, addr)?;
             let (operand, operand2) = {
                 let w = &self.warps[wi];
@@ -1689,6 +1805,27 @@ fn mem_fault(e: MemError) -> FaultKind {
 
 // `apply_atom` lives in `sassi_mem` (the journaled global path uses it
 // there); the shared-memory path above imports it from that crate.
+
+/// Gathers one lane's store source registers into `buf` (little-endian
+/// register pairs/quads; sub-word stores truncate the low register).
+#[inline(always)]
+fn store_source_bytes(
+    w: &Warp,
+    lane: usize,
+    v: Gpr,
+    width: MemWidth,
+    bytes: u32,
+    buf: &mut [u8; 16],
+) {
+    for k in 0..width.regs() {
+        let val = w.reg(lane, Gpr::new(v.index() + k));
+        buf[4 * k as usize..4 * k as usize + 4].copy_from_slice(&val.to_le_bytes());
+    }
+    if bytes < 4 {
+        let val = w.reg(lane, v);
+        buf[..bytes as usize].copy_from_slice(&val.to_le_bytes()[..bytes as usize]);
+    }
+}
 
 fn write_load_result(w: &mut Warp, lane: usize, d: Gpr, width: MemWidth, data: &[u8; 16]) {
     match width {

@@ -125,6 +125,9 @@ impl Exec<'_> {
                     Label::Handler(id) => {
                         let id = *id;
                         self.stats.handler_calls += 1;
+                        // The decoded µop carries its site index; here
+                        // we look it up from the (shared) site table.
+                        let site = self.decoded.site_at(pc).unwrap_or(u32::MAX);
                         let cost = {
                             let warp = &mut self.warps[wi];
                             let cta = &mut self.ctas[warp.cta];
@@ -140,7 +143,8 @@ impl Exec<'_> {
                                 kernel: &self.kernel.name,
                                 launch_index: self.launch_index,
                             };
-                            self.runtime.handle(id, &mut ctx)
+                            self.runtime
+                                .handle(crate::trap::TrapRef { site, handler: id }, &mut ctx)
                         };
                         let cycles = cost.cycles();
                         self.stats.handler_cycles += cycles;

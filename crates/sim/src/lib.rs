@@ -52,11 +52,11 @@ mod trap;
 mod warp;
 
 pub use config::{GpuConfig, LaunchDims};
-pub use decode::{DSrc, DecodedFault, DecodedInstr, DecodedModule, UOp, GUARD_ALWAYS};
+pub use decode::{DSrc, DecodedFault, DecodedInstr, DecodedModule, TrapSite, UOp, GUARD_ALWAYS};
 pub use device::{Device, ExecMode, LaunchError};
 pub use module::{LinkError, LinkedFunction, Module};
 pub use stats::{
     FaultInfo, FaultKind, IssueClass, IssueCounters, KernelOutcome, LaunchResult, LaunchStats,
 };
-pub use trap::{HandlerCost, HandlerRuntime, NoHandlers, RuntimeShard, TrapCtx};
+pub use trap::{HandlerCost, HandlerRuntime, NoHandlers, RuntimeShard, TrapCtx, TrapRef};
 pub use warp::{StackEntry, Warp, WarpStatus};

@@ -9,8 +9,11 @@
 //! stand-in for the paper's CUDA handlers); the ABI trampoline that
 //! leads up to the trap is real simulated SASS either way.
 
+use crate::decode::TrapSite;
 use crate::warp::Warp;
-use sassi_isa::{resolve_generic, AddrSpace, Gpr, LaneMask, PredReg, GENERIC_LOCAL_TAG};
+use sassi_isa::{
+    lanes, resolve_generic, AddrSpace, Gpr, LaneMask, Lanes, PredReg, GENERIC_LOCAL_TAG,
+};
 use sassi_mem::{DeviceMemory, MemError};
 
 /// Cost declared by a native handler for one invocation, charged to the
@@ -72,9 +75,20 @@ impl TrapCtx<'_> {
         self.warp.active
     }
 
-    /// Iterates active lane indices.
-    pub fn active_lanes(&self) -> Vec<usize> {
-        self.warp.active_lanes().collect()
+    /// Iterates active lane indices: a copyable, allocation-free mask
+    /// iterator in ascending lane order.
+    pub fn active_lanes(&self) -> Lanes {
+        lanes(self.warp.active)
+    }
+
+    /// Calls `f` for each active lane in ascending order — the fast
+    /// path for handlers that only need a per-lane visit.
+    pub fn for_each_active(&self, mut f: impl FnMut(usize)) {
+        let mut m = self.warp.active;
+        while m != 0 {
+            f(m.trailing_zeros() as usize);
+            m &= m - 1;
+        }
     }
 
     /// The first active lane (handler "leader").
@@ -230,11 +244,31 @@ pub struct RuntimeShard {
     pub join: Box<dyn FnOnce() + Send>,
 }
 
+/// The identity of the trap site being dispatched: the decode-time
+/// site index (into the table passed to
+/// [`HandlerRuntime::bind_sites`]) plus the raw handler id from the
+/// `JCAL`, for runtimes that have not bound a site table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrapRef {
+    /// Index into the launch module's [`TrapSite`] table.
+    pub site: u32,
+    /// The native handler id named by the `JCAL handlerN`.
+    pub handler: u32,
+}
+
 /// Receives traps from `JCAL handlerN` instructions.
 pub trait HandlerRuntime {
-    /// Handles trap `id` for the given warp; the returned cost is
-    /// charged to the warp as cycles.
-    fn handle(&mut self, id: u32, ctx: &mut TrapCtx<'_>) -> HandlerCost;
+    /// Handles the trap at `trap` for the given warp; the returned
+    /// cost is charged to the warp as cycles.
+    fn handle(&mut self, trap: TrapRef, ctx: &mut TrapCtx<'_>) -> HandlerCost;
+
+    /// Called once per launch (and once per forked shard runtime),
+    /// before any trap is dispatched, with the launching module's
+    /// decode-time site table. Runtimes can pre-resolve per-site
+    /// dispatch state here; `TrapRef::site` indexes the bound table.
+    /// The default does nothing — runtimes that dispatch on
+    /// `TrapRef::handler` alone need no table.
+    fn bind_sites(&mut self, _sites: &[TrapSite]) {}
 
     /// Forks a shard-local runtime for one SM shard of a CTA-parallel
     /// launch, or `None` if this runtime's state cannot be merged (the
@@ -251,7 +285,7 @@ pub trait HandlerRuntime {
 pub struct NoHandlers;
 
 impl HandlerRuntime for NoHandlers {
-    fn handle(&mut self, _id: u32, _ctx: &mut TrapCtx<'_>) -> HandlerCost {
+    fn handle(&mut self, _trap: TrapRef, _ctx: &mut TrapCtx<'_>) -> HandlerCost {
         HandlerCost::FREE
     }
 

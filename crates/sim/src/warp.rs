@@ -229,10 +229,9 @@ impl Warp {
         &mut self.local[lane * b..(lane + 1) * b]
     }
 
-    /// Iterates the active lane indices.
-    pub fn active_lanes(&self) -> impl Iterator<Item = usize> + '_ {
-        let m = self.active;
-        (0..32usize).filter(move |l| m & (1 << l) != 0)
+    /// Iterates the active lane indices (ascending, allocation-free).
+    pub fn active_lanes(&self) -> sassi_isa::Lanes {
+        sassi_isa::lanes(self.active)
     }
 
     /// Lowest active lane, if any — the "first active thread" handlers

@@ -48,11 +48,10 @@ struct ProfileHandler {
 
 impl Handler for ProfileHandler {
     fn handle(&mut self, ctx: &mut SiteCtx<'_, '_>) -> HandlerCost {
-        let executing = ctx
-            .active_lanes()
-            .into_iter()
-            .filter(|&l| ctx.params(l).will_execute(ctx.trap))
-            .count() as u64;
+        let executing = u64::from(
+            ctx.ballot(|l| ctx.params(l).will_execute(ctx.trap))
+                .count_ones(),
+        );
         if executing > 0 {
             let li = ctx.trap.launch_index as usize;
             let mut st = self.state.lock();
@@ -175,18 +174,17 @@ impl Handler for InjectHandler {
         if self.done || ctx.trap.launch_index != self.site.launch {
             return cost;
         }
-        let lanes: Vec<usize> = ctx
-            .active_lanes()
-            .into_iter()
-            .filter(|&l| ctx.params(l).will_execute(ctx.trap))
-            .collect();
-        let n = lanes.len() as u64;
+        let exec = ctx.ballot(|l| ctx.params(l).will_execute(ctx.trap));
+        let n = u64::from(exec.count_ones());
         if self.counter + n <= self.site.nth {
             self.counter += n;
             return cost;
         }
-        // The selected dynamic execution is one of this warp's lanes.
-        let lane = lanes[(self.site.nth - self.counter) as usize];
+        // The selected dynamic execution is one of this warp's lanes:
+        // the (nth - counter)'th set bit, in ascending lane order.
+        let lane = sassi_isa::lanes(exec)
+            .nth((self.site.nth - self.counter) as usize)
+            .expect("selected execution index within executing mask");
         self.counter += n;
         self.done = true;
 
@@ -196,19 +194,29 @@ impl Handler for InjectHandler {
         let pred_mask = rp.pred_dst_mask(ctx.trap);
         let writes_cc = rp.writes_cc(ctx.trap);
 
-        // Enumerate destinations: GPRs, predicates, CC.
-        let mut kinds: Vec<u32> = (0..ngpr).collect();
+        // Enumerate destinations: GPRs, predicates, CC. At most 4 GPR
+        // dsts + 7 predicates + CC, so a stack array holds all of them
+        // (content and order match the old Vec exactly — the RNG draw
+        // below must stay byte-identical).
+        let mut kinds = [0u32; 12];
+        let mut nk = 0usize;
+        for g in 0..ngpr {
+            kinds[nk] = g;
+            nk += 1;
+        }
         let npred = pred_mask.count_ones();
         for p in 0..npred {
-            kinds.push(100 + p);
+            kinds[nk] = 100 + p;
+            nk += 1;
         }
         if writes_cc {
-            kinds.push(200);
+            kinds[nk] = 200;
+            nk += 1;
         }
-        if kinds.is_empty() {
+        if nk == 0 {
             return cost;
         }
-        let choice = kinds[rng.gen_range(0..kinds.len())];
+        let choice = kinds[rng.gen_range(0..nk)];
         let what;
         if choice < 100 {
             // Flip one random bit of a 32-bit GPR destination.

@@ -9,7 +9,8 @@
 
 use parking_lot::Mutex;
 use sassi::{
-    Handler, HandlerCost, HandlerShard, InfoFlags, MemoryDomain, Sassi, SiteCtx, SiteFilter,
+    Handler, HandlerCost, HandlerShard, InfoFlags, MemoryDomain, Sassi, Scratch, SiteCtx,
+    SiteFilter,
 };
 use sassi_workloads::{execute_with_jobs, Workload};
 use serde::{Deserialize, Serialize};
@@ -93,13 +94,17 @@ impl MemDivState {
 
 struct MemDivHandler {
     state: Arc<Mutex<MemDivState>>,
+    /// Per-trap workset buffer, reset each trap; capacity persists so
+    /// steady-state handling never allocates.
+    scratch: Scratch,
 }
 
 impl Handler for MemDivHandler {
     fn handle(&mut self, ctx: &mut SiteCtx<'_, '_>) -> HandlerCost {
         // Figure 6: filter out lanes whose guard is false, keep global
         // accesses only, shift off the line offset bits.
-        let mut line_addrs: Vec<u64> = Vec::new();
+        self.scratch.reset();
+        let line_addrs = &mut self.scratch.words;
         for lane in ctx.active_lanes() {
             let bp = ctx.params(lane);
             if !bp.will_execute(ctx.trap) {
@@ -119,12 +124,15 @@ impl Handler for MemDivHandler {
                 atomics: 0,
             };
         }
-        // The leader-election loop of Figure 6, executed warp-wide.
+        // The leader-election loop of Figure 6: each iteration elects
+        // the first not-yet-matched lane's address and knocks out its
+        // matches. Counting an address only at its first occurrence is
+        // the same count, computed in place (no workset copy).
         let mut unique = 0usize;
-        let mut workset = line_addrs.clone();
-        while let Some(&leader_addr) = workset.first() {
-            workset.retain(|&a| a != leader_addr);
-            unique += 1;
+        for i in 0..num_active {
+            if line_addrs[..i].iter().all(|&a| a != line_addrs[i]) {
+                unique += 1;
+            }
         }
         let mut st = self.state.lock();
         st.counters[num_active - 1][unique - 1] += 1;
@@ -142,7 +150,10 @@ impl Handler for MemDivHandler {
         let parent = self.state.clone();
         let child = shard.clone();
         Some(HandlerShard {
-            handler: Box::new(MemDivHandler { state: child }),
+            handler: Box::new(MemDivHandler {
+                state: child,
+                scratch: Scratch::default(),
+            }),
             join: Box::new(move || parent.lock().merge(&shard.lock())),
         })
     }
@@ -167,7 +178,10 @@ pub fn instrumentor(state: Arc<Mutex<MemDivState>>) -> Sassi {
     sassi.on_before(
         SiteFilter::MEMORY,
         InfoFlags::MEMORY,
-        Box::new(MemDivHandler { state }),
+        Box::new(MemDivHandler {
+            state,
+            scratch: Scratch::default(),
+        }),
     );
     sassi
 }

@@ -89,19 +89,17 @@ struct ValueHandler {
 
 impl Handler for ValueHandler {
     fn handle(&mut self, ctx: &mut SiteCtx<'_, '_>) -> HandlerCost {
-        // Lanes whose guard passed actually wrote their destinations.
-        let lanes: Vec<usize> = ctx
-            .active_lanes()
-            .into_iter()
-            .filter(|&l| ctx.params(l).will_execute(ctx.trap))
-            .collect();
-        let Some(&leader) = lanes.first() else {
+        // Lanes whose guard passed actually wrote their destinations —
+        // a ballot, kept as a mask (no per-trap allocation).
+        let exec = ctx.ballot(|l| ctx.params(l).will_execute(ctx.trap));
+        if exec == 0 {
             return HandlerCost {
                 instructions: 8,
                 memory_ops: 0,
                 atomics: 0,
             };
-        };
+        }
+        let leader = exec.trailing_zeros() as usize;
         let rp = ctx
             .register_params(leader)
             .expect("register info requested");
@@ -126,7 +124,7 @@ impl Handler for ValueHandler {
             // int leaderValue = __shfl(valueInReg, firstActiveThread);
             let leader_value = sassi::RegisterParamsView::new(ctx.trap, leader).value(ctx.trap, d);
             let mut all_same = true;
-            for &lane in &lanes {
+            for lane in sassi_isa::lanes(exec) {
                 let v = sassi::RegisterParamsView::new(ctx.trap, lane).value(ctx.trap, d);
                 // atomicAnd(&constantOnes, v); atomicAnd(&constantZeros, ~v);
                 slot.constant_ones &= v;

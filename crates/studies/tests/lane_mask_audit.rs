@@ -1,0 +1,80 @@
+//! Source audit: `active_lanes()` is an allocation-free mask iterator,
+//! and no production code may materialize it into a `Vec` again.
+//!
+//! The audit walks every `crates/*/src` tree (library code only — test
+//! and bench code may collect lanes for assertion convenience) and
+//! rejects any `active_lanes()` call whose statement collects the
+//! iterator, plus any accessor signature that returns lane indices as
+//! a `Vec`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn active_lanes_is_never_collected_in_library_code() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    let mut files = Vec::new();
+    for entry in fs::read_dir(&root).unwrap() {
+        let src = entry.unwrap().path().join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files);
+        }
+    }
+    assert!(
+        files.len() > 20,
+        "audit found only {} sources under {}",
+        files.len(),
+        root.display()
+    );
+
+    let call = "active_lanes()";
+    for file in &files {
+        let text = fs::read_to_string(file).unwrap();
+        // Normalize whitespace so a chained `.collect()` on the next
+        // line still lands in the call's window.
+        let flat = text.split_whitespace().collect::<Vec<_>>().join(" ");
+        let mut from = 0;
+        while let Some(at) = flat[from..].find(call) {
+            let start = from + at;
+            let window = &flat[start..flat.len().min(start + 120)];
+            let stmt = window.split(';').next().unwrap_or(window);
+            assert!(
+                !stmt.contains(".collect") && !stmt.contains(".into_iter()"),
+                "{}: `{}` materializes the lane mask: `{}`",
+                file.display(),
+                call,
+                stmt
+            );
+            from = start + call.len();
+        }
+        // The accessors themselves must expose the mask iterator, not
+        // an allocated vector.
+        let mut from = 0;
+        while let Some(at) = flat[from..].find("fn active_lanes") {
+            let start = from + at;
+            let sig = &flat[start..flat.len().min(start + 90)];
+            let sig = sig.split('{').next().unwrap_or(sig);
+            assert!(
+                !sig.contains("Vec<"),
+                "{}: active_lanes must not return a Vec: `{}`",
+                file.display(),
+                sig
+            );
+            from = start + 10;
+        }
+    }
+}
