@@ -259,16 +259,21 @@ fn hotloop(jobs: usize) {
     );
     for (label, run) in [
         ("decoded", &report.decoded),
+        ("single-step", &report.single_step),
         ("parallel", &report.parallel),
         ("reference", &report.reference),
         ("instrumented", &report.instrumented),
     ] {
         println!(
-            "  {label:<10} {:>7.2} s busy ({:>6.2} s wall) — {:.0} warp instrs/s",
+            "  {label:<12} {:>7.2} s busy ({:>6.2} s wall) — {:.0} warp instrs/s",
             run.busy_s, run.wall_s, run.instrs_per_s
         );
     }
     println!("  speedup: {:.2}x (busy-time ratio)", report.speedup);
+    println!(
+        "  block speedup: {:.2}x (single-step wall / block-stepped wall)",
+        report.block_speedup
+    );
     println!(
         "  parallel speedup: {:.2}x (decoded serial wall / CTA-parallel wall, {} shard workers)",
         report.parallel_speedup, report.jobs

@@ -50,8 +50,12 @@ pub struct HotLoopReport {
     /// so wall times compare like for like.
     pub jobs: usize,
     /// The pre-decoded µop interpreter, serial launches
-    /// (`ExecMode::Decoded`).
+    /// (`ExecMode::Decoded`), block-stepped scheduler (the default).
     pub decoded: ModeRun,
+    /// The decoded interpreter with block stepping disabled
+    /// (`SASSI_BLOCK_STEP=0` semantics): one µop per scheduler pick.
+    /// Same instruction counts as `decoded`, asserted in-process.
+    pub single_step: ModeRun,
     /// The pre-decoded µop interpreter with `jobs` CTA-shard workers
     /// per launch — the SM-worker execution model.
     pub parallel: ModeRun,
@@ -72,6 +76,10 @@ pub struct HotLoopReport {
     pub instrumented_overhead: f64,
     /// reference busy time / decoded busy time (interpreter speedup).
     pub speedup: f64,
+    /// single-step wall time / block-stepped wall time, measured in
+    /// the same process on the same warmed state — the wall-clock win
+    /// of running warps to their basic-block boundary per pick.
+    pub block_speedup: f64,
     /// decoded serial wall time / parallel wall time: how much faster
     /// the same workloads finish when each launch's CTAs run across
     /// `jobs` workers instead of one. ~1.0 on a single-core host;
@@ -82,7 +90,65 @@ pub struct HotLoopReport {
     pub issue: IssueCounters,
 }
 
-fn sweep(mode: ExecMode, jobs: usize, cta_jobs: usize) -> (ModeRun, IssueCounters) {
+/// Timed passes per sweep. Each configuration's sweep lasts only a few
+/// hundred milliseconds, which on a busy single-core host is
+/// noise-dominated; every sweep therefore runs `PASSES` times after its
+/// warm-up and reports the fastest pass (best-of-N discards scheduler
+/// preemption and cache-pollution outliers, which are strictly
+/// additive). Instruction counts are asserted identical across passes.
+const PASSES: usize = 3;
+
+/// One untimed launch before a timed sweep. Sweeps used to run cold —
+/// the first timed workload paid one-time process costs (lazy
+/// allocator growth, page faults on freshly-mapped device heaps, lazy
+/// statics), biasing whichever configuration ran first. Warming with a
+/// real workload under the same configuration moves those costs out of
+/// every timed window.
+fn warmup(mode: ExecMode, cta_jobs: usize, block_step: bool) {
+    let w = sassi_workloads::by_name("hotspot").expect("warm-up workload");
+    let mut mb = ModuleBuilder::new();
+    for k in w.kernels() {
+        mb.add_kernel(k);
+    }
+    let module = mb.build(None).expect("build");
+    let mut rt = Runtime::with_defaults();
+    rt.device.exec_mode = mode;
+    rt.set_cta_jobs(cta_jobs);
+    rt.set_block_step(block_step);
+    let out = w.execute(&mut rt, &module, &mut NoHandlers);
+    assert!(out.is_ok(), "warm-up: {:?}", out.err());
+}
+
+fn sweep(
+    mode: ExecMode,
+    jobs: usize,
+    cta_jobs: usize,
+    block_step: bool,
+) -> (ModeRun, IssueCounters) {
+    warmup(mode, cta_jobs, block_step);
+    let mut best: Option<(ModeRun, IssueCounters)> = None;
+    for _ in 0..PASSES {
+        let pass = sweep_pass(mode, jobs, cta_jobs, block_step);
+        match &best {
+            Some((b, bi)) => {
+                assert_eq!(b.warp_instrs, pass.0.warp_instrs);
+                assert_eq!(*bi, pass.1, "issue counters diverge across passes");
+                if pass.0.wall_s < b.wall_s {
+                    best = Some(pass);
+                }
+            }
+            None => best = Some(pass),
+        }
+    }
+    best.expect("at least one pass")
+}
+
+fn sweep_pass(
+    mode: ExecMode,
+    jobs: usize,
+    cta_jobs: usize,
+    block_step: bool,
+) -> (ModeRun, IssueCounters) {
     let (per_unit, timing) = run_units(
         jobs,
         HOTLOOP_SET,
@@ -97,6 +163,7 @@ fn sweep(mode: ExecMode, jobs: usize, cta_jobs: usize) -> (ModeRun, IssueCounter
             let mut rt = Runtime::with_defaults();
             rt.device.exec_mode = mode;
             rt.set_cta_jobs(cta_jobs);
+            rt.set_block_step(block_step);
             let out = w.execute(&mut rt, &module, &mut NoHandlers);
             assert!(out.is_ok(), "{name}: {:?}", out.err());
             let mut issue = IssueCounters::default();
@@ -134,6 +201,25 @@ fn sweep(mode: ExecMode, jobs: usize, cta_jobs: usize) -> (ModeRun, IssueCounter
 /// conditional branch instrumented. Returns the run plus the total
 /// warp-level handler invocations.
 fn instrumented_sweep() -> (ModeRun, u64) {
+    warmup(ExecMode::Decoded, 1, true);
+    let mut best: Option<(ModeRun, u64)> = None;
+    for _ in 0..PASSES {
+        let pass = instrumented_pass();
+        match &best {
+            Some((b, bh)) => {
+                assert_eq!(b.warp_instrs, pass.0.warp_instrs);
+                assert_eq!(*bh, pass.1, "handler calls diverge across passes");
+                if pass.0.wall_s < b.wall_s {
+                    best = Some(pass);
+                }
+            }
+            None => best = Some(pass),
+        }
+    }
+    best.expect("at least one pass")
+}
+
+fn instrumented_pass() -> (ModeRun, u64) {
     let (per_unit, timing) = run_units(1, HOTLOOP_SET, WorkloadCache::default, |cache, name, _| {
         let w = cache.get(name);
         let state = Arc::new(Mutex::new(sassi_studies::branch::BranchState::default()));
@@ -145,6 +231,7 @@ fn instrumented_sweep() -> (ModeRun, u64) {
         let module = mb.build(Some(&sassi)).expect("build");
         let mut rt = Runtime::with_defaults();
         rt.device.exec_mode = ExecMode::Decoded;
+        rt.set_block_step(true);
         let out = w.execute(&mut rt, &module, &mut sassi);
         assert!(out.is_ok(), "{name}: {:?}", out.err());
         let (mut wi, mut ti, mut hc) = (0u64, 0u64, 0u64);
@@ -185,14 +272,19 @@ fn instrumented_sweep() -> (ModeRun, u64) {
 /// a cheap online rerun of the decode-equivalence property that also
 /// covers the parallel engine's stat merge.
 pub fn compare(jobs: usize) -> HotLoopReport {
-    let (decoded, issue_d) = sweep(ExecMode::Decoded, 1, 1);
-    let (parallel, issue_p) = sweep(ExecMode::Decoded, 1, jobs);
-    let (reference, issue_r) = sweep(ExecMode::Reference, 1, 1);
+    let (decoded, issue_d) = sweep(ExecMode::Decoded, 1, 1, true);
+    let (single_step, issue_s) = sweep(ExecMode::Decoded, 1, 1, false);
+    let (parallel, issue_p) = sweep(ExecMode::Decoded, 1, jobs, true);
+    let (reference, issue_r) = sweep(ExecMode::Reference, 1, 1, false);
     let (instrumented, handler_calls) = instrumented_sweep();
     assert!(handler_calls > 0, "branch sweep fired no handler calls");
     // Trampolines add instructions, so the instrumented sweep is only
     // sanity-checked for more work than native, not exact equality.
     assert!(instrumented.warp_instrs > decoded.warp_instrs);
+    assert_eq!(
+        issue_d, issue_s,
+        "issue-class counters diverge between block-stepped and single-stepped runs"
+    );
     assert_eq!(
         issue_d, issue_p,
         "issue-class counters diverge between serial and CTA-parallel runs"
@@ -201,6 +293,8 @@ pub fn compare(jobs: usize) -> HotLoopReport {
         issue_d, issue_r,
         "issue-class counters diverge between interpreters"
     );
+    assert_eq!(decoded.warp_instrs, single_step.warp_instrs);
+    assert_eq!(decoded.thread_instrs, single_step.thread_instrs);
     assert_eq!(decoded.warp_instrs, parallel.warp_instrs);
     assert_eq!(decoded.thread_instrs, parallel.thread_instrs);
     assert_eq!(decoded.warp_instrs, reference.warp_instrs);
@@ -210,6 +304,11 @@ pub fn compare(jobs: usize) -> HotLoopReport {
         jobs,
         speedup: if decoded.busy_s > 0.0 {
             reference.busy_s / decoded.busy_s
+        } else {
+            1.0
+        },
+        block_speedup: if decoded.wall_s > 0.0 {
+            single_step.wall_s / decoded.wall_s
         } else {
             1.0
         },
@@ -224,6 +323,7 @@ pub fn compare(jobs: usize) -> HotLoopReport {
             1.0
         },
         decoded,
+        single_step,
         parallel,
         reference,
         instrumented,

@@ -62,6 +62,92 @@ pub fn coalesce_addresses(addrs: &[u64], width_bytes: u32) -> CoalesceResult {
     }
 }
 
+/// Upper bound on unique lines per warp access: 32 lanes, each touching
+/// at most two lines (enforced by the `width_bytes <= LINE_BYTES` bound
+/// of [`coalesce_batch`]).
+pub const MAX_WARP_LINES: usize = 64;
+
+/// Allocation-free batch coalescing result: the unique line bases live
+/// in a fixed inline buffer, so the memory hierarchy's hot path never
+/// heap-allocates per warp access.
+#[derive(Clone, Debug)]
+pub struct LineBatch {
+    lines: [u64; MAX_WARP_LINES],
+    len: u32,
+    /// Number of active lanes that issued an address.
+    pub active: u32,
+}
+
+impl LineBatch {
+    /// Unique line-aligned base addresses, in first-touch order.
+    #[inline(always)]
+    pub fn lines(&self) -> &[u64] {
+        &self.lines[..self.len as usize]
+    }
+
+    /// Number of unique cache lines touched — the divergence measure of
+    /// Figures 7 and 8.
+    #[inline(always)]
+    pub fn unique_lines(&self) -> u32 {
+        self.len
+    }
+}
+
+/// Batch entry to the coalescer: classifies all lane addresses of one
+/// warp access in a single pass over a fixed buffer.
+///
+/// Behaviourally identical to [`coalesce_addresses`] (same lines, same
+/// first-touch order) — that per-lane path is kept as the reference the
+/// differential test and benches compare against. Two fast paths make
+/// the common cases cheap: line math is shift-based (`LINE_BYTES` is a
+/// power of two), and a lane whose line matches the most recently
+/// inserted one (unit-stride, broadcast) skips the uniqueness scan.
+///
+/// # Panics
+///
+/// Panics if more than 32 addresses are passed or `width_bytes`
+/// exceeds [`LINE_BYTES`] (which would overflow the fixed buffer).
+pub fn coalesce_batch(addrs: &[u64], width_bytes: u32) -> LineBatch {
+    const LINE_SHIFT: u32 = LINE_BYTES.trailing_zeros();
+    assert!(addrs.len() <= 32, "a warp has at most 32 lanes");
+    assert!(
+        width_bytes <= LINE_BYTES,
+        "access width exceeds line size: {width_bytes}"
+    );
+    let mut batch = LineBatch {
+        lines: [0; MAX_WARP_LINES],
+        len: 0,
+        active: addrs.len() as u32,
+    };
+    let span = width_bytes.max(1) as u64 - 1;
+    // One presence bit per line index modulo 64: a clear bit proves
+    // the line is new, so diverged warps (whose lines rarely alias
+    // modulo 64) skip the dedup scan; a set bit falls back to the
+    // exact scan.
+    let mut seen: u64 = 0;
+    for &a in addrs {
+        let first = a >> LINE_SHIFT;
+        let last = (a + span) >> LINE_SHIFT;
+        for line in first..=last {
+            let base = line << LINE_SHIFT;
+            let filled = &batch.lines[..batch.len as usize];
+            // MRU fast path: structured patterns land on the line that
+            // was just inserted.
+            if filled.last() == Some(&base) {
+                continue;
+            }
+            let bit = 1u64 << (line & 63);
+            if seen & bit != 0 && filled.contains(&base) {
+                continue;
+            }
+            seen |= bit;
+            batch.lines[batch.len as usize] = base;
+            batch.len += 1;
+        }
+    }
+    batch
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +197,49 @@ mod tests {
     fn order_preserved_first_touch() {
         let r = coalesce_addresses(&[0x100, 0x40, 0x100], 4);
         assert_eq!(r.lines, vec![0x100, 0x40]);
+    }
+
+    /// The batch entry must agree with the per-lane reference path on
+    /// lines, order and counts for every access shape the ISA can
+    /// produce.
+    #[test]
+    fn batch_matches_per_lane_reference() {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut cases: Vec<(Vec<u64>, u32)> = vec![
+            ((0..32).map(|i| 0x1000 + 4 * i as u64).collect(), 4),
+            (vec![0x2000; 32], 4),
+            ((0..32).map(|i| 0x4000 + 32 * i as u64).collect(), 4),
+            (vec![30], 4),
+            (vec![], 4),
+            (vec![0x100, 0x40, 0x100], 4),
+            ((0..32).map(|i| 0x800 + 8 * i as u64).collect(), 8),
+            (vec![31; 7], 2), // spanning, repeated
+        ];
+        for lanes in [1usize, 2, 13, 32] {
+            for width in [1u32, 4, 8, 16, 32] {
+                let addrs = (0..lanes)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x % 0x1000
+                    })
+                    .collect();
+                cases.push((addrs, width));
+            }
+        }
+        for (addrs, width) in cases {
+            let r = coalesce_addresses(&addrs, width);
+            let b = coalesce_batch(&addrs, width);
+            assert_eq!(b.lines(), r.lines.as_slice(), "addrs={addrs:?} w={width}");
+            assert_eq!(b.unique_lines(), r.unique_lines());
+            assert_eq!(b.active, r.active);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn batch_rejects_overwide_access() {
+        coalesce_batch(&[0], 64);
     }
 }

@@ -2,7 +2,7 @@
 //! DRAM, fed by the coalescer.
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
-use crate::coalesce::coalesce_addresses;
+use crate::coalesce::coalesce_batch;
 use crate::dram::{Dram, DramConfig};
 use serde::{Deserialize, Serialize};
 
@@ -115,10 +115,10 @@ impl MemoryHierarchy {
         write: bool,
     ) -> AccessOutcome {
         self.warp_accesses += 1;
-        let co = coalesce_addresses(addrs, width_bytes);
+        let co = coalesce_batch(addrs, width_bytes);
         let line = self.cfg.l1.line_bytes as u64;
         let mut ready = now;
-        for &line_addr in &co.lines {
+        for &line_addr in co.lines() {
             self.transactions += 1;
             let t = if self.l1s[sm].access(line_addr, write) {
                 now + self.cfg.l1_latency

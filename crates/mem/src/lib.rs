@@ -23,7 +23,9 @@ mod device;
 mod hierarchy;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use coalesce::{coalesce_addresses, CoalesceResult, LINE_BYTES};
+pub use coalesce::{
+    coalesce_addresses, coalesce_batch, CoalesceResult, LineBatch, LINE_BYTES, MAX_WARP_LINES,
+};
 pub use device::{apply_atom, DeviceMemory, JournalOp, MemError};
 pub use dram::{Dram, DramConfig};
 pub use hierarchy::{AccessOutcome, HierarchyConfig, HierarchyStats, MemoryHierarchy};

@@ -383,8 +383,61 @@ pub struct TrapSite {
     pub save_restore: u32,
 }
 
+/// One maximal straight-line run of µops: pcs `start..end` with the
+/// block's single (optional) block-ending µop at `end - 1`.
+///
+/// Blocks partition the module's pc space purely by *block-ending*
+/// µops (see [`is_block_boundary`]): every control transfer or
+/// barrier ends the block containing it, and the last instruction of
+/// the module ends the final block. Branch *targets* do not split
+/// blocks — a jump into the middle of a run simply executes the
+/// remaining suffix, which is why the interpreter asks for the extent
+/// *from the current pc* rather than from the block leader.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First pc of the block.
+    pub start: u32,
+    /// One past the last pc of the block.
+    pub end: u32,
+}
+
+impl BasicBlock {
+    /// Number of µops in the block (always ≥ 1).
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Blocks are never empty; this exists for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Whether `uop` ends a basic block: any control transfer (`BRA`,
+/// `SSY`, `SYNC`, `EXIT`, `JCAL` to a *function*, `RET`), the CTA
+/// barrier (`BAR.SYNC`, which can suspend the warp), or a decode-time
+/// defect (`Invalid`, a guaranteed fetch fault). Instrumentation
+/// traps (`UOp::Trap`) deliberately do **not** end blocks: dispatch
+/// is two `Copy` reads plus a handler call and always resumes at
+/// `pc + 1`, so straight-line runs flow through trap sites.
+#[inline(always)]
+pub fn is_block_boundary(uop: &UOp) -> bool {
+    matches!(
+        uop,
+        UOp::Ssy { .. }
+            | UOp::Sync
+            | UOp::Bra { .. }
+            | UOp::Exit
+            | UOp::Call { .. }
+            | UOp::Ret
+            | UOp::BarSync
+            | UOp::Invalid(_)
+    )
+}
+
 /// The pre-decoded form of a linked module: the flat µop array, the
-/// trap-site bitmap and the resolved trap-site table.
+/// trap-site bitmap, the resolved trap-site table and the basic-block
+/// table.
 #[derive(Clone, Debug)]
 pub struct DecodedModule {
     code: Vec<DecodedInstr>,
@@ -392,6 +445,11 @@ pub struct DecodedModule {
     trap_bits: Vec<u64>,
     /// Trap sites in ascending pc order; `UOp::Trap::site` indexes this.
     sites: Vec<TrapSite>,
+    /// Basic blocks in ascending pc order; a partition of `0..len()`.
+    blocks: Vec<BasicBlock>,
+    /// `block_idx[pc]` is the index into `blocks` of the block
+    /// containing `pc`.
+    block_idx: Vec<u32>,
     /// Whether any global/generic atomic *consumes* its old value
     /// (`ATOM` with a live destination, or any CAS/EXCH). See
     /// [`DecodedModule::has_consuming_global_atomics`].
@@ -427,10 +485,13 @@ impl DecodedModule {
             }
             code.push(di);
         }
+        let (blocks, block_idx) = build_blocks(&code);
         DecodedModule {
             code,
             trap_bits,
             sites,
+            blocks,
+            block_idx,
             consuming_global_atomics,
         }
     }
@@ -490,6 +551,36 @@ impl DecodedModule {
             .map(|i| i as u32)
     }
 
+    /// The basic-block table: a partition of `0..len()` in ascending
+    /// pc order (see [`BasicBlock`]).
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Index into [`DecodedModule::blocks`] of the block containing
+    /// `pc`, if `pc` is in range.
+    pub fn block_index(&self, pc: u32) -> Option<u32> {
+        self.block_idx.get(pc as usize).copied()
+    }
+
+    /// The block containing `pc`, if `pc` is in range.
+    pub fn block_of(&self, pc: u32) -> Option<BasicBlock> {
+        self.block_index(pc).map(|i| self.blocks[i as usize])
+    }
+
+    /// Exclusive end of the straight-line run containing `pc`: the
+    /// interpreter may execute `pc..block_end(pc)` without re-picking
+    /// a warp (the run's only possible control transfer sits at
+    /// `block_end(pc) - 1`). Out-of-range pcs return `pc + 1` so the
+    /// caller performs exactly one fetch, which faults precisely.
+    #[inline(always)]
+    pub fn block_end(&self, pc: u32) -> u32 {
+        match self.block_idx.get(pc as usize) {
+            Some(&i) => self.blocks[i as usize].end,
+            None => pc.saturating_add(1),
+        }
+    }
+
     /// Trap sites within `[entry, end)` — pass a `LinkedFunction`'s
     /// range to get per-function instrumentation density.
     pub fn trap_sites_in(&self, entry: u32, end: u32) -> u32 {
@@ -503,6 +594,30 @@ impl DecodedModule {
         }
         count
     }
+}
+
+/// Partitions the decoded code into basic blocks: a new block ends at
+/// every block-ending µop ([`is_block_boundary`]) and at the end of
+/// the module. Returns the block table plus the per-pc block index.
+fn build_blocks(code: &[DecodedInstr]) -> (Vec<BasicBlock>, Vec<u32>) {
+    let n = code.len();
+    let mut blocks = Vec::new();
+    let mut block_idx = vec![0u32; n];
+    let mut start = 0usize;
+    for pc in 0..n {
+        if is_block_boundary(&code[pc].uop) || pc + 1 == n {
+            let idx = blocks.len() as u32;
+            blocks.push(BasicBlock {
+                start: start as u32,
+                end: pc as u32 + 1,
+            });
+            for slot in &mut block_idx[start..=pc] {
+                *slot = idx;
+            }
+            start = pc + 1;
+        }
+    }
+    (blocks, block_idx)
 }
 
 /// Counts the trampoline save/restore instructions around the trap at
@@ -965,6 +1080,66 @@ mod tests {
         assert_eq!(d.trap_sites_in(0, 5), 2);
         assert_eq!(d.trap_sites_in(2, 5), 1);
         assert_eq!(d.trap_sites_in(0, 1), 0);
+    }
+
+    #[test]
+    fn block_table_partitions_by_control_transfers_only() {
+        let m = module_of(vec![
+            Instr::new(Op::Nop), // 0
+            Instr::new(Op::Jcal {
+                target: Label::Handler(1),
+            }), // 1: trap, NOT a boundary
+            Instr::new(Op::MemBar), // 2: not a boundary
+            Instr::new(Op::Bra {
+                target: Label::Pc(0),
+                uniform: false,
+            }), // 3: ends block 0
+            Instr::new(Op::Nop), // 4
+            Instr::new(Op::BarSync), // 5: ends block 1
+            Instr::new(Op::Exit), // 6: ends block 2
+        ]);
+        let d = m.decoded();
+        assert_eq!(
+            d.blocks(),
+            &[
+                BasicBlock { start: 0, end: 4 },
+                BasicBlock { start: 4, end: 6 },
+                BasicBlock { start: 6, end: 7 },
+            ]
+        );
+        // Every pc maps to exactly one block and extents answer from
+        // mid-block pcs, not just leaders.
+        assert_eq!(d.block_index(0), Some(0));
+        assert_eq!(d.block_index(2), Some(0));
+        assert_eq!(d.block_index(3), Some(0));
+        assert_eq!(d.block_index(4), Some(1));
+        assert_eq!(d.block_index(6), Some(2));
+        assert_eq!(d.block_end(2), 4);
+        assert_eq!(d.block_end(4), 6);
+        assert_eq!(d.block_of(5), Some(BasicBlock { start: 4, end: 6 }));
+        // Out of range: one fetch (which faults precisely).
+        assert_eq!(d.block_index(7), None);
+        assert_eq!(d.block_end(7), 8);
+        assert_eq!(d.block_end(u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn block_boundary_classification() {
+        assert!(is_block_boundary(&UOp::Sync));
+        assert!(is_block_boundary(&UOp::Ssy { reconv: 3 }));
+        assert!(is_block_boundary(&UOp::Bra { target: 0 }));
+        assert!(is_block_boundary(&UOp::Exit));
+        assert!(is_block_boundary(&UOp::Call { target: 0 }));
+        assert!(is_block_boundary(&UOp::Ret));
+        assert!(is_block_boundary(&UOp::BarSync));
+        assert!(is_block_boundary(&UOp::Invalid(DecodedFault::BadLabel)));
+        // Traps resume at pc + 1, so straight-line runs flow through.
+        assert!(!is_block_boundary(&UOp::Trap {
+            handler: 0,
+            site: 0
+        }));
+        assert!(!is_block_boundary(&UOp::MemBar));
+        assert!(!is_block_boundary(&UOp::Nop));
     }
 
     #[test]

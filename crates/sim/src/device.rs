@@ -102,8 +102,33 @@ pub struct Device {
     /// shards on a fixed-size pool. Results are merged in canonical
     /// shard order, so they are identical for any value.
     pub cta_jobs: usize,
+    /// Whether the decoded interpreter runs warps to their basic-block
+    /// boundary per scheduler visit (the default) instead of one µop
+    /// per visit. Block stepping preserves functional semantics and
+    /// all instruction-derived statistics; only cycle-derived numbers
+    /// shift (intra-block memory stalls overlap instead of
+    /// serializing). Defaults from the `SASSI_BLOCK_STEP` environment
+    /// variable (`0` → single-step); the reference interpreter and
+    /// kernels with consuming global atomics (whose instruction
+    /// streams observe warp interleaving) always single-step.
+    pub block_step: bool,
     slots: Vec<SmSlot>,
     warp_allocations: u64,
+}
+
+/// Process-wide default for [`Device::block_step`]: `false` iff
+/// `SASSI_BLOCK_STEP` is set to `0` (the debugging / A-B escape
+/// hatch), `true` otherwise. Read once and cached — flip the field on
+/// the device (or use `Runtime::set_block_step`) for programmatic
+/// control within a process.
+pub fn block_step_env_default() -> bool {
+    static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        !matches!(
+            std::env::var("SASSI_BLOCK_STEP").as_deref().map(str::trim),
+            Ok("0")
+        )
+    })
 }
 
 /// Persistent per-SM execution state, recycled across launches.
@@ -138,6 +163,7 @@ struct ShardEnv<'a> {
     cbank: Vec<u8>,
     launch_index: u64,
     max_cycles: u64,
+    block_step: bool,
 }
 
 /// One shard's contribution to the launch result.
@@ -157,6 +183,7 @@ impl Device {
             mem: DeviceMemory::new(heap_bytes),
             exec_mode: ExecMode::default(),
             cta_jobs: 1,
+            block_step: block_step_env_default(),
             slots: Vec::new(),
             warp_allocations: 0,
         }
@@ -238,6 +265,18 @@ impl Device {
             cbank: build_cbank0(&self.cfg, kf, dims, params),
             launch_index,
             max_cycles,
+            // The reference interpreter is the cycle-exact oracle for
+            // the decoded path, so it always single-steps. Kernels with
+            // consuming atomics also single-step: block stepping
+            // coarsens the intra-SM warp interleaving, and a consumed
+            // old value (CAS winners, `atom` destinations) feeds that
+            // interleaving back into the instruction stream — the same
+            // hazard that gates CTA-parallel shard forking below. All
+            // other kernels' instruction-derived statistics are
+            // interleaving-independent.
+            block_step: self.block_step
+                && self.exec_mode == ExecMode::Decoded
+                && !decoded.has_consuming_global_atomics(),
         };
 
         let jobs = self.cta_jobs.max(1).min(num_shards);
@@ -403,6 +442,7 @@ fn run_shard(
         stats: LaunchStats::default(),
         warp_allocs: 0,
         retire_pending: false,
+        block_step: env.block_step,
     };
     let outcome = exec.run(env.max_cycles);
     let mut stats = exec.stats;
@@ -482,6 +522,9 @@ struct Exec<'a> {
     /// skip the scan entirely on the (vastly more common) cycles where
     /// nothing retired.
     retire_pending: bool,
+    /// Run a picked warp to its basic-block boundary instead of one
+    /// µop per pick (decoded mode only; see [`Device::block_step`]).
+    block_step: bool,
 }
 
 impl Exec<'_> {
@@ -578,13 +621,25 @@ impl Exec<'_> {
             self.issue_block();
         }
 
+        // The decoded interpreter amortizes warp selection over whole
+        // straight-line runs; the reference interpreter (and the
+        // `SASSI_BLOCK_STEP=0` escape hatch) pays one pick per µop.
+        let block_step = self.block_step && self.mode == ExecMode::Decoded;
         loop {
             if self.cycle > max_cycles {
                 return KernelOutcome::Hang;
             }
             match self.pick() {
                 Pick::Warp(wi) => {
-                    if let Err(kind) = self.step(wi) {
+                    // `step_block` charges its own cycles (one per µop
+                    // executed); the single-step path charges one here.
+                    // A faulting µop charges none in either path.
+                    let stepped = if block_step {
+                        self.step_block(wi)
+                    } else {
+                        self.step(wi)
+                    };
+                    if let Err(kind) = stepped {
                         return KernelOutcome::Fault(FaultInfo {
                             kind,
                             pc: self.warps[wi].pc,
@@ -594,7 +649,9 @@ impl Exec<'_> {
                     if self.warps[wi].status == WarpStatus::Done {
                         self.retire_pending = true;
                     }
-                    self.cycle += 1;
+                    if !block_step {
+                        self.cycle += 1;
+                    }
                 }
                 Pick::Stalled(until) => {
                     self.cycle = until.max(self.cycle + 1);
@@ -607,6 +664,79 @@ impl Exec<'_> {
                 }
             }
         }
+    }
+
+    /// Runs warp `wi` from its current pc to the end of the enclosing
+    /// basic block: every remaining µop of the straight-line run
+    /// (predicated-off ones included) executes under this one
+    /// scheduler visit, bailing out early only on a fault, warp
+    /// retirement or a barrier.
+    ///
+    /// Cycle accounting charges the run's µop count — one cycle per
+    /// µop, exactly as single-stepping does — so instruction-derived
+    /// statistics are byte-identical to `SASSI_BLOCK_STEP=0`.
+    /// Intermediate dependence stalls are *not* waited out mid-block;
+    /// instead the block's final `ready_at` is the max over its µops',
+    /// so a long-latency load still delays the warp's next run while
+    /// other warps fill the gap. That overlap (and nothing else) is
+    /// what shifts cycle-derived artifacts versus single-stepping.
+    fn step_block(&mut self, wi: usize) -> Result<(), FaultKind> {
+        // The extent is asked from the *current* pc: jumps into the
+        // middle of a run execute only its remaining suffix.
+        let end = self.decoded.block_end(self.warps[wi].pc);
+        let mut block_ready = 0u64;
+        loop {
+            // Straight-line fast path: consecutive ALU-class µops of
+            // the run execute with the warp, the stat block and the
+            // cycle counter borrowed once, instead of re-resolving
+            // `self.warps[wi]` and dispatching through `step_decoded`
+            // per µop. Semantics are identical: same guard
+            // evaluation, same stat bumps, one cycle per µop, and the
+            // same `ready_at` contribution (`cycle + lat`, what
+            // `finish` would write) folded into the block maximum.
+            // The boundary µop at `end - 1` — like memory, trap, S2R
+            // and warp-wide µops — always takes the general path.
+            {
+                let dm: &DecodedModule = self.decoded;
+                let cbank = self.cbank;
+                let w = &mut self.warps[wi];
+                let stats = &mut self.stats;
+                let mut cycle = self.cycle;
+                while w.pc + 1 < end {
+                    let Some(di) = dm.get(w.pc) else { break };
+                    let mask = guard_mask(w, di.guard);
+                    if !Self::exec_alu(cbank, w, &di.uop, mask) {
+                        break;
+                    }
+                    stats.warp_instrs += 1;
+                    stats.thread_instrs += mask.count_ones() as u64;
+                    stats.issue.bump(di.class);
+                    w.pc += 1;
+                    block_ready = block_ready.max(cycle + (di.lat as u64).max(1));
+                    cycle += 1;
+                }
+                self.cycle = cycle;
+            }
+            let pc = self.warps[wi].pc;
+            // On a fault the warp's pc still names the faulting µop
+            // and earlier µops' cycles are already charged — precise
+            // resume needs no boundary at fault-capable µops.
+            self.step_decoded(wi)?;
+            self.cycle += 1;
+            let w = &self.warps[wi];
+            block_ready = block_ready.max(w.ready_at);
+            // `pc + 1 == end` means the run's last µop just executed —
+            // checked against the pre-step pc because a block-ending
+            // branch may land anywhere (including back inside this
+            // block, which starts a *new* scheduler visit). Every
+            // non-ending µop advances pc by exactly one.
+            if pc + 1 >= end || w.status != WarpStatus::Ready {
+                break;
+            }
+        }
+        let w = &mut self.warps[wi];
+        w.ready_at = block_ready.max(w.ready_at);
+        Ok(())
     }
 
     fn pick(&mut self) -> Pick {
@@ -691,11 +821,7 @@ impl Exec<'_> {
     /// return 0, matching hardware's zero-backed tail).
     #[inline(always)]
     fn c0_read(&self, offset: u16) -> u32 {
-        let off = offset as usize;
-        if off + 4 > self.cbank.len() {
-            return 0;
-        }
-        u32::from_le_bytes(self.cbank[off..off + 4].try_into().unwrap())
+        c0_read_img(self.cbank, offset)
     }
 
     /// Resolves a pre-decoded operand for this warp-step: constants
@@ -703,32 +829,12 @@ impl Exec<'_> {
     /// per-lane work.
     #[inline(always)]
     fn rsrc(&self, s: DSrc) -> RSrc {
-        match s {
-            DSrc::Reg(r) => RSrc::Reg(r),
-            DSrc::Imm(v) => RSrc::Val(v),
-            DSrc::C0(off) => RSrc::Val(self.c0_read(off)),
-        }
+        rsrc_c(self.cbank, s)
     }
 
     /// Guard evaluation from the packed guard byte.
     fn guard_mask_decoded(&self, w: &Warp, g: u8) -> LaneMask {
-        if g == GUARD_ALWAYS {
-            return w.active;
-        }
-        let idx = g & 7;
-        let p = if idx == 7 {
-            PredReg::PT
-        } else {
-            PredReg::new(idx)
-        };
-        let neg = g & 0x80 != 0;
-        let mut m = 0u32;
-        for lane in w.active_lanes() {
-            if w.pred(lane, p) != neg {
-                m |= 1 << lane;
-            }
-        }
-        m
+        guard_mask(w, g)
     }
 
     /// Executes one instruction of warp `wi`. Returns a fault kind on
@@ -963,30 +1069,41 @@ impl Exec<'_> {
         Ok(())
     }
 
-    /// Per-lane execution of the ALU-class µops: the operation is
-    /// matched and its operands resolved once per warp; only the lane
-    /// loop runs per thread.
+    /// Per-lane execution of the ALU-class µops. `S2R` is the one
+    /// ALU-class µop that reads scheduler state (cta coordinates, sm
+    /// id, the cycle counter), so it is handled here; every other op
+    /// runs in the warp-only [`Exec::exec_alu`], shared with the
+    /// block-stepped straight-line fast loop.
     fn alu_decoded(&mut self, wi: usize, uop: &UOp, mask: LaneMask) {
+        if let UOp::S2R { d, sr } = *uop {
+            let ctx = self.special_ctx(&self.warps[wi]);
+            let w = &mut self.warps[wi];
+            for_lanes(mask, |lane| {
+                let v = special_value(&ctx, lane, sr);
+                w.set_reg(lane, d, v);
+            });
+            return;
+        }
+        Self::exec_alu(self.cbank, &mut self.warps[wi], uop, mask);
+    }
+
+    /// Warp-only execution of the ALU-class µops: the operation is
+    /// matched and its operands resolved once per warp; only the lane
+    /// loop runs per thread. Returns `false` — having done nothing —
+    /// for µops that need more than the warp and the constant bank
+    /// (memory, control, trap, `S2R`, warp-wide), so callers fall
+    /// back to the general `step_decoded` path.
+    fn exec_alu(cbank: &[u8], w: &mut Warp, uop: &UOp, mask: LaneMask) -> bool {
         match *uop {
             UOp::Mov { d, a } => {
-                let a = self.rsrc(a);
-                let w = &mut self.warps[wi];
+                let a = rsrc_c(cbank, a);
                 for_lanes(mask, |lane| {
                     let v = rval(w, lane, a);
                     w.set_reg(lane, d, v);
                 });
             }
-            UOp::S2R { d, sr } => {
-                let ctx = self.special_ctx(&self.warps[wi]);
-                let w = &mut self.warps[wi];
-                for_lanes(mask, |lane| {
-                    let v = special_value(&ctx, lane, sr);
-                    w.set_reg(lane, d, v);
-                });
-            }
             UOp::IAdd { d, a, b, x, cc } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let av = w.reg(lane, a) as u64;
                     let bv = rval(w, lane, b) as u64;
@@ -999,8 +1116,7 @@ impl Exec<'_> {
                 });
             }
             UOp::ISub { d, a, b } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let v = w.reg(lane, a).wrapping_sub(rval(w, lane, b));
                     w.set_reg(lane, d, v);
@@ -1013,8 +1129,7 @@ impl Exec<'_> {
                 signed,
                 hi,
             } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let av = w.reg(lane, a);
                     let bv = rval(w, lane, b);
@@ -1037,8 +1152,7 @@ impl Exec<'_> {
                 });
             }
             UOp::IMad { d, a, b, c } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let v = w
                         .reg(lane, a)
@@ -1048,8 +1162,7 @@ impl Exec<'_> {
                 });
             }
             UOp::IScAdd { d, a, b, shift } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let v = (w.reg(lane, a) << shift).wrapping_add(rval(w, lane, b));
                     w.set_reg(lane, d, v);
@@ -1062,8 +1175,7 @@ impl Exec<'_> {
                 min,
                 signed,
             } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let av = w.reg(lane, a);
                     let bv = rval(w, lane, b);
@@ -1077,8 +1189,7 @@ impl Exec<'_> {
                 });
             }
             UOp::Shl { d, a, b } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let s = rval(w, lane, b);
                     let v = if s >= 32 { 0 } else { w.reg(lane, a) << s };
@@ -1086,8 +1197,7 @@ impl Exec<'_> {
                 });
             }
             UOp::Shr { d, a, b, signed } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let s = rval(w, lane, b);
                     let av = w.reg(lane, a);
@@ -1106,8 +1216,7 @@ impl Exec<'_> {
                 });
             }
             UOp::Lop { d, op, a, b, inv_b } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let av = w.reg(lane, a);
                     let mut bv = rval(w, lane, b);
@@ -1118,14 +1227,12 @@ impl Exec<'_> {
                 });
             }
             UOp::Popc { d, a } => {
-                let w = &mut self.warps[wi];
                 for_lanes(mask, |lane| {
                     let v = w.reg(lane, a).count_ones();
                     w.set_reg(lane, d, v);
                 });
             }
             UOp::Flo { d, a } => {
-                let w = &mut self.warps[wi];
                 for_lanes(mask, |lane| {
                     let av = w.reg(lane, a);
                     let v = if av == 0 {
@@ -1137,15 +1244,13 @@ impl Exec<'_> {
                 });
             }
             UOp::Brev { d, a } => {
-                let w = &mut self.warps[wi];
                 for_lanes(mask, |lane| {
                     let v = w.reg(lane, a).reverse_bits();
                     w.set_reg(lane, d, v);
                 });
             }
             UOp::Sel { d, a, b, p, neg_p } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let v = if w.pred(lane, p) != neg_p {
                         w.reg(lane, a)
@@ -1162,8 +1267,7 @@ impl Exec<'_> {
                 neg_a,
                 neg_b,
             } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let mut av = f32::from_bits(w.reg(lane, a));
                     let mut bv = f32::from_bits(rval(w, lane, b));
@@ -1177,8 +1281,7 @@ impl Exec<'_> {
                 });
             }
             UOp::FMul { d, a, b } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let av = f32::from_bits(w.reg(lane, a));
                     let bv = f32::from_bits(rval(w, lane, b));
@@ -1193,8 +1296,7 @@ impl Exec<'_> {
                 neg_b,
                 neg_c,
             } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let av = f32::from_bits(w.reg(lane, a));
                     let mut bv = f32::from_bits(rval(w, lane, b));
@@ -1209,8 +1311,7 @@ impl Exec<'_> {
                 });
             }
             UOp::FMnMx { d, a, b, min } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let av = f32::from_bits(w.reg(lane, a));
                     let bv = f32::from_bits(rval(w, lane, b));
@@ -1219,21 +1320,18 @@ impl Exec<'_> {
                 });
             }
             UOp::Mufu { d, func, a } => {
-                let w = &mut self.warps[wi];
                 for_lanes(mask, |lane| {
                     let av = f32::from_bits(w.reg(lane, a));
                     w.set_reg(lane, d, func.eval(av).to_bits());
                 });
             }
             UOp::I2F { d, a } => {
-                let w = &mut self.warps[wi];
                 for_lanes(mask, |lane| {
                     let v = (w.reg(lane, a) as i32 as f32).to_bits();
                     w.set_reg(lane, d, v);
                 });
             }
             UOp::F2I { d, a } => {
-                let w = &mut self.warps[wi];
                 for_lanes(mask, |lane| {
                     let v = f32::from_bits(w.reg(lane, a)) as i32 as u32;
                     w.set_reg(lane, d, v);
@@ -1247,8 +1345,7 @@ impl Exec<'_> {
                 signed,
                 combine,
             } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let av = w.reg(lane, a);
                     let bv = rval(w, lane, b);
@@ -1265,8 +1362,7 @@ impl Exec<'_> {
                 });
             }
             UOp::FSetP { p, cmp, a, b } => {
-                let b = self.rsrc(b);
-                let w = &mut self.warps[wi];
+                let b = rsrc_c(cbank, b);
                 for_lanes(mask, |lane| {
                     let av = f32::from_bits(w.reg(lane, a));
                     let bv = f32::from_bits(rval(w, lane, b));
@@ -1281,7 +1377,6 @@ impl Exec<'_> {
                 neg_a,
                 neg_b,
             } => {
-                let w = &mut self.warps[wi];
                 for_lanes(mask, |lane| {
                     let av = w.pred(lane, a) != neg_a;
                     let bv = w.pred(lane, b) != neg_b;
@@ -1295,23 +1390,22 @@ impl Exec<'_> {
                 });
             }
             UOp::P2R { d } => {
-                let w = &mut self.warps[wi];
                 for_lanes(mask, |lane| {
                     let v = w.preds[lane] as u32 & 0x7f;
                     w.set_reg(lane, d, v);
                 });
             }
             UOp::R2P { a } => {
-                let w = &mut self.warps[wi];
                 for_lanes(mask, |lane| {
                     w.preds[lane] = (w.reg(lane, a) & 0x7f) as u8;
                 });
             }
-            UOp::Nop => {}
-            // Control / memory / warp-wide µops are handled in
-            // `step_decoded`.
-            _ => {}
+            UOp::Nop | UOp::MemBar => {}
+            // Control / memory / warp-wide / `S2R` µops take the
+            // general `step_decoded` path.
+            _ => return false,
         }
+        true
     }
 
     /// Snapshots the warp-invariant inputs of special-register reads,
@@ -1721,6 +1815,51 @@ enum Pick {
 
 fn finish(w: &mut Warp, cycle: u64, lat: u64) {
     w.ready_at = cycle + lat.max(1);
+}
+
+/// Reads 4 bytes of a bank-0 constant image (out-of-image reads
+/// return 0, matching hardware's zero-backed tail).
+#[inline(always)]
+fn c0_read_img(cbank: &[u8], offset: u16) -> u32 {
+    let off = offset as usize;
+    if off + 4 > cbank.len() {
+        return 0;
+    }
+    u32::from_le_bytes(cbank[off..off + 4].try_into().unwrap())
+}
+
+/// Resolves a pre-decoded operand against a constant-bank image:
+/// constants and immediates become values here, once; only registers
+/// remain per-lane work.
+#[inline(always)]
+fn rsrc_c(cbank: &[u8], s: DSrc) -> RSrc {
+    match s {
+        DSrc::Reg(r) => RSrc::Reg(r),
+        DSrc::Imm(v) => RSrc::Val(v),
+        DSrc::C0(off) => RSrc::Val(c0_read_img(cbank, off)),
+    }
+}
+
+/// Guard evaluation from the packed guard byte.
+#[inline]
+fn guard_mask(w: &Warp, g: u8) -> LaneMask {
+    if g == GUARD_ALWAYS {
+        return w.active;
+    }
+    let idx = g & 7;
+    let p = if idx == 7 {
+        PredReg::PT
+    } else {
+        PredReg::new(idx)
+    };
+    let neg = g & 0x80 != 0;
+    let mut m = 0u32;
+    for lane in w.active_lanes() {
+        if w.pred(lane, p) != neg {
+            m |= 1 << lane;
+        }
+    }
+    m
 }
 
 /// A source operand resolved for one warp-step: immediates and

@@ -46,6 +46,15 @@ impl HandlerCost {
 }
 
 /// The per-trap view of a warp handed to handler runtimes.
+///
+/// Handlers observe and may mutate architectural state (registers,
+/// predicates, memory), but must **not** redirect control flow:
+/// `warp.pc` is owned by the interpreter, which resumes the warp at
+/// `pc + 1` after every trap. The block-stepped scheduler relies on
+/// this — trap sites sit in the middle of straight-line runs whose
+/// extent was computed at decode time, so a handler that moved `pc`
+/// would desynchronize the run (and, on real SASSI, would corrupt the
+/// trampoline's return path just the same).
 pub struct TrapCtx<'a> {
     /// The trapping warp (registers, predicates, local slabs, masks).
     pub warp: &'a mut Warp,

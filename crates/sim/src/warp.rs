@@ -48,6 +48,15 @@ pub struct Warp {
     /// Warp index within its CTA.
     pub warp_in_cta: u32,
     /// Current program counter (flat module code space).
+    ///
+    /// Invariant the block-stepped scheduler depends on: executing any
+    /// µop that is not a block boundary (see
+    /// [`crate::is_block_boundary`]) advances `pc` by exactly one —
+    /// including instrumentation traps, whose handlers run to
+    /// completion within the step and always resume at `pc + 1`. Only
+    /// boundary µops (branches, `SSY`/`SYNC`, calls, returns, `EXIT`,
+    /// `BAR.SYNC`) may move `pc` anywhere else, and the block table
+    /// places each of those last in its block.
     pub pc: u32,
     /// Currently active lanes.
     pub active: LaneMask,

@@ -1,0 +1,353 @@
+//! The block-stepped scheduler's contract, in two halves:
+//!
+//! 1. **Table invariants** — over random instruction streams, the
+//!    decode-time basic-block table is a partition of the pc space
+//!    whose internal pcs are exactly the non-boundary µops and whose
+//!    block-ending pcs are exactly the control-transfer/barrier µops
+//!    (or the end of the module).
+//! 2. **Execution equivalence** — running whole blocks per scheduler
+//!    pick must leave every observable except the cycle counter
+//!    untouched: outputs, memory, all instruction-derived
+//!    `LaunchStats` counters, handler activity and precise faults are
+//!    byte-identical to the single-stepped decoded interpreter.
+
+use proptest::prelude::*;
+use sassi::{FnHandler, InfoFlags, Sassi, SiteFilter};
+use sassi_isa::{FunctionMeta, Instr, Label, Op};
+use sassi_kir::{Compiler, KernelBuilder};
+use sassi_sim::{
+    is_block_boundary, DecodedModule, Device, ExecMode, KernelOutcome, LaunchDims, LaunchResult,
+    LaunchStats, LinkedFunction, Module, NoHandlers,
+};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Half 1: table invariants over arbitrary instruction streams.
+
+/// A compact generator of instruction streams that mixes straight-line
+/// µops with every block-ending shape: branches (valid and wild),
+/// reconvergence pushes/pops, barriers, returns, calls to functions
+/// (unlinked → `Invalid`) and to handlers (→ `Trap`, which must NOT
+/// end a block).
+fn instr_strategy(len: u32) -> impl Strategy<Value = Instr> {
+    // The vendored proptest shim has no weighted arms or `Just`; a
+    // single discriminant draw keeps straight-line µops (Nop) common
+    // enough that runs of useful length appear.
+    (0u32..16, 0..len * 2, 0u32..4).prop_map(|(kind, pc, h)| {
+        Instr::new(match kind {
+            0..=5 => Op::Nop,
+            6 => Op::MemBar,
+            7 | 8 => Op::Bra {
+                target: Label::Pc(pc),
+                uniform: false,
+            },
+            9 => Op::Ssy {
+                target: Label::Pc(pc),
+            },
+            10 => Op::Sync,
+            11 => Op::BarSync,
+            12 => Op::Ret,
+            13 => Op::Exit,
+            14 => Op::Jcal {
+                target: Label::Handler(h),
+            },
+            _ => Op::Jcal {
+                target: Label::Func(h),
+            },
+        })
+    })
+}
+
+fn raw_module(code: Vec<Instr>) -> Module {
+    let end = code.len() as u32;
+    let f = LinkedFunction {
+        name: "k".to_string(),
+        entry: 0,
+        end,
+        meta: FunctionMeta {
+            reg_high_water: 8,
+            ..FunctionMeta::default()
+        },
+    };
+    Module::from_parts(code, vec![f], BTreeMap::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every pc belongs to exactly one block, blocks tile `0..len`
+    /// contiguously, and a pc is the last of its block iff its µop is
+    /// a block boundary or the module's final instruction.
+    #[test]
+    fn block_table_partitions_pc_space(
+        code in prop::collection::vec(instr_strategy(64), 1..64),
+    ) {
+        let module = raw_module(code);
+        let dm = DecodedModule::decode(&module);
+        let n = dm.len() as u32;
+        let blocks = dm.blocks();
+
+        // Partition: contiguous, non-empty, covering exactly 0..n.
+        prop_assert!(!blocks.is_empty());
+        prop_assert_eq!(blocks[0].start, 0);
+        prop_assert_eq!(blocks[blocks.len() - 1].end, n);
+        for w in blocks.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start, "blocks must tile the pc space");
+            prop_assert!(w[0].start < w[0].end, "blocks are non-empty");
+        }
+
+        for pc in 0..n {
+            // Membership: block_index agrees with the block extents.
+            let bi = dm.block_index(pc).expect("in-range pc") as usize;
+            let b = blocks[bi];
+            prop_assert!(b.start <= pc && pc < b.end, "pc {} outside its block {:?}", pc, b);
+            prop_assert_eq!(dm.block_end(pc), b.end);
+
+            // Boundary coincidence: last-of-block ⟺ boundary µop or
+            // final instruction; internal pcs are never boundaries.
+            let uop = &dm.get(pc).unwrap().uop;
+            let is_last = pc + 1 == b.end;
+            if is_block_boundary(uop) {
+                prop_assert!(is_last, "boundary µop at {} must end its block", pc);
+            } else if is_last {
+                prop_assert_eq!(b.end, n, "only the module end may close a block \
+                                           on a non-boundary µop (pc {})", pc);
+            }
+        }
+
+        // Out-of-range pcs degrade to a single-fetch extent.
+        prop_assert_eq!(dm.block_end(n), n + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Half 2: execution equivalence, block-stepped vs single-stepped.
+
+/// Launches `module`'s kernel `k` on a decoded device with the given
+/// stepping mode; returns the result and the first `words` of `buf0`.
+fn run_decoded(
+    module: &Module,
+    kernel: &str,
+    dims: LaunchDims,
+    out_words: u64,
+    block_step: bool,
+    sassi: Option<&mut Sassi>,
+) -> (LaunchResult, Vec<u32>) {
+    let mut dev = Device::with_defaults();
+    dev.exec_mode = ExecMode::Decoded;
+    dev.block_step = block_step;
+    let out = dev.mem.alloc(out_words * 4, 8).unwrap();
+    let res = match sassi {
+        Some(s) => dev.launch(module, kernel, dims, &[out], s, 0, 1 << 32),
+        None => dev.launch(module, kernel, dims, &[out], &mut NoHandlers, 0, 1 << 32),
+    }
+    .unwrap();
+    let mem = (0..out_words)
+        .map(|i| dev.mem.read_u32(out + 4 * i).unwrap())
+        .collect();
+    (res, mem)
+}
+
+/// Every instruction-derived `LaunchStats` counter — everything except
+/// `cycles` and the cycle-weighted `handler_cycles` share of stalls.
+fn work_counters(s: &LaunchStats) -> (u64, u64, u64, u64, u64, u64, u64, [u64; 4]) {
+    (
+        s.warp_instrs,
+        s.thread_instrs,
+        s.divergent_branches,
+        s.cond_branches,
+        s.handler_calls,
+        s.handler_cycles,
+        s.blocks,
+        [
+            s.issue.memory,
+            s.issue.control,
+            s.issue.numeric,
+            s.issue.misc,
+        ],
+    )
+}
+
+/// Kernel with nested divergence, a barrier astride the divergent
+/// region's reconvergence point, and global traffic — every boundary
+/// kind on one hot path.
+fn divergent_barrier_kernel(n_then: u32, n_else: u32, bit: u32) -> sassi_kir::KFunction {
+    let mut b = KernelBuilder::kernel("k");
+    let out = b.param_ptr(0);
+    let tid = b.global_tid_x();
+    let t = b.shr(tid, bit);
+    let tb = b.and(t, 1u32);
+    let taken = b.setp_u32_eq(tb, 1u32);
+    let acc = b.var_u32(0u32);
+    b.if_else(
+        taken,
+        |b| {
+            let mut v = tid;
+            for _ in 0..n_then {
+                v = b.imul(v, 3u32);
+            }
+            b.assign(acc, v);
+        },
+        |b| {
+            let mut v = tid;
+            for _ in 0..n_else {
+                v = b.iadd(v, 7u32);
+            }
+            b.assign(acc, v);
+        },
+    );
+    b.bar_sync();
+    let e = b.lea(out, tid, 2);
+    b.st_global_u32(e, acc);
+    b.finish()
+}
+
+/// Kernel where lanes selected by `bit` store through a wild pointer —
+/// the precise-fault case. Lanes fault mid-module with live stores
+/// before and after the faulting site.
+fn faulting_kernel(bit: u32, n_pre: u32) -> sassi_kir::KFunction {
+    let mut b = KernelBuilder::kernel("k");
+    let out = b.param_ptr(0);
+    let tid = b.global_tid_x();
+    let mut v = tid;
+    for _ in 0..n_pre {
+        v = b.iadd(v, 11u32);
+    }
+    let e = b.lea(out, tid, 2);
+    b.st_global_u32(e, v);
+    let t = b.shr(tid, bit);
+    let tb = b.and(t, 1u32);
+    let taken = b.setp_u32_eq(tb, 1u32);
+    b.if_else(
+        taken,
+        |b| {
+            // 64 MiB past the base: outside every allocation, and small
+            // enough to survive the 32-bit shift inside `lea`.
+            let wild = b.iconst(0x0100_0000u32);
+            let e = b.lea(out, wild, 2);
+            b.st_global_u32(e, wild);
+        },
+        |_| {},
+    );
+    let e2 = b.lea(out, tid, 2);
+    b.st_global_u32(e2, v);
+    b.finish()
+}
+
+fn check_equivalent(module: &Module, dims: LaunchDims, out_words: u64, instrument: bool) {
+    let (mut s_single, mut s_block) = (Sassi::new(), Sassi::new());
+    for s in [&mut s_single, &mut s_block] {
+        s.on_before(
+            SiteFilter::ALL,
+            InfoFlags::NONE,
+            Box::new(FnHandler::free(|_| {})),
+        );
+    }
+    let (res_s, mem_s) = run_decoded(
+        module,
+        "k",
+        dims,
+        out_words,
+        false,
+        instrument.then_some(&mut s_single),
+    );
+    let (res_b, mem_b) = run_decoded(
+        module,
+        "k",
+        dims,
+        out_words,
+        true,
+        instrument.then_some(&mut s_block),
+    );
+    assert_eq!(res_b.outcome, res_s.outcome, "outcome diverges");
+    assert_eq!(mem_b, mem_s, "memory diverges");
+    if matches!(res_s.outcome, KernelOutcome::Completed) {
+        assert_eq!(
+            work_counters(&res_b.stats),
+            work_counters(&res_s.stats),
+            "instruction-derived stats diverge"
+        );
+        assert_eq!(res_b.mem, res_s.mem, "memory-system counters diverge");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Divergence + barrier + memory kernels: block-stepped execution
+    /// is byte-identical to single-step on everything but cycles, with
+    /// and without every-site instrumentation (traps inside blocks).
+    #[test]
+    fn block_step_matches_single_step(
+        n_then in 0u32..4,
+        n_else in 0u32..4,
+        bit in 0u32..5,
+        instrument in any::<bool>(),
+    ) {
+        let kf = divergent_barrier_kernel(n_then, n_else, bit);
+        let plain = Compiler::new().compile(&kf).unwrap();
+        let func = if instrument {
+            let mut s = Sassi::new();
+            s.on_before(SiteFilter::ALL, InfoFlags::NONE, Box::new(FnHandler::free(|_| {})));
+            s.apply(&plain, 0)
+        } else {
+            plain
+        };
+        let module = Module::link(std::slice::from_ref(&func)).unwrap();
+        check_equivalent(&module, LaunchDims::linear(2, 64), 128, instrument);
+    }
+
+    /// Faulting kernels: the block-stepped scheduler reports the exact
+    /// same precise fault (kind, pc, sm) and identical memory effects
+    /// up to the fault.
+    #[test]
+    fn block_step_preserves_precise_faults(
+        bit in 0u32..5,
+        n_pre in 0u32..4,
+    ) {
+        let kf = faulting_kernel(bit, n_pre);
+        let func = Compiler::new().compile(&kf).unwrap();
+        let module = Module::link(std::slice::from_ref(&func)).unwrap();
+        let (res_s, mem_s) = run_decoded(&module, "k", LaunchDims::linear(2, 32), 64, false, None);
+        let (res_b, mem_b) = run_decoded(&module, "k", LaunchDims::linear(2, 32), 64, true, None);
+        prop_assert!(matches!(res_s.outcome, KernelOutcome::Fault(_)), "expected a fault");
+        prop_assert_eq!(res_b.outcome, res_s.outcome, "fault identity diverges");
+        prop_assert_eq!(mem_b, mem_s, "pre-fault memory diverges");
+    }
+}
+
+/// A trap-dense straight-line kernel: with every-site instrumentation
+/// the whole body is one block full of `Trap` µops — the case that
+/// motivates keeping traps out of the boundary set.
+#[test]
+fn traps_do_not_fragment_blocks() {
+    let mut b = KernelBuilder::kernel("k");
+    let out = b.param_ptr(0);
+    let tid = b.global_tid_x();
+    let mut v = tid;
+    for i in 0..8 {
+        v = b.iadd(v, i + 1);
+    }
+    let e = b.lea(out, tid, 2);
+    b.st_global_u32(e, v);
+    let plain = Compiler::new().compile(&b.finish()).unwrap();
+    let mut s = Sassi::new();
+    s.on_before(
+        SiteFilter::ALL,
+        InfoFlags::NONE,
+        Box::new(FnHandler::free(|_| {})),
+    );
+    let inst = s.apply(&plain, 0);
+    let module = Module::link(std::slice::from_ref(&inst)).unwrap();
+    let dm = DecodedModule::decode(&module);
+    assert!(dm.trap_count() > 0);
+    // Trap sites sit strictly inside blocks: none ends a block.
+    for site in dm.sites() {
+        assert!(
+            dm.block_end(site.pc) > site.pc + 1,
+            "trap at {} must not end its block",
+            site.pc
+        );
+    }
+    check_equivalent(&module, LaunchDims::linear(2, 32), 64, true);
+}

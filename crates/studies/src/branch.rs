@@ -8,7 +8,7 @@
 
 use parking_lot::Mutex;
 use sassi::{Handler, HandlerCost, HandlerShard, InfoFlags, Sassi, SiteCtx, SiteFilter};
-use sassi_workloads::{execute_with_jobs, Workload};
+use sassi_workloads::{execute_with_opts, Workload};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -168,6 +168,14 @@ pub fn run(w: &dyn Workload) -> BranchStudy {
 /// Runs Case Study I with `cta_jobs` inner worker threads per launch.
 /// Results are byte-identical for any job count.
 pub fn run_with_jobs(w: &dyn Workload, cta_jobs: usize) -> BranchStudy {
+    run_with_config(w, cta_jobs, None)
+}
+
+/// As [`run_with_jobs`], additionally pinning the block-stepped
+/// scheduler on or off (`None` keeps the `SASSI_BLOCK_STEP` default).
+/// The study output is byte-identical across all four
+/// `cta_jobs` × `block_step` cells — the CI matrix's contract.
+pub fn run_with_config(w: &dyn Workload, cta_jobs: usize, block_step: Option<bool>) -> BranchStudy {
     let state = Arc::new(Mutex::new(BranchState::default()));
     let mut sassi = instrumentor(state.clone());
 
@@ -185,7 +193,7 @@ pub fn run_with_jobs(w: &dyn Workload, cta_jobs: usize) -> BranchStudy {
         })
         .sum();
 
-    let report = execute_with_jobs(w, Some(&mut sassi), None, cta_jobs);
+    let report = execute_with_opts(w, Some(&mut sassi), None, cta_jobs, block_step);
     assert!(
         report.output.is_ok(),
         "{}: {:?}",
